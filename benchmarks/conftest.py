@@ -1,0 +1,24 @@
+"""Shared benchmark scale knobs.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced scale (override with ``--bench-rows``) and asserts the
+reproduced *shape* — who wins, which direction the trend goes — inside
+the benchmark test itself, so the assertions run under
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-rows",
+        type=int,
+        default=60_000,
+        help="base table rows for benchmark experiments",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_rows(request):
+    return request.config.getoption("--bench-rows")

@@ -1,0 +1,50 @@
+"""Ablation: Cardinality cost model (§3.2.1) vs engine model (§3.2.2).
+
+The paper argues the query-optimizer cost model captures effects the
+simple cardinality model cannot (physical design above all).  This
+ablation verifies that claim on our substrate: with a covering index
+present, only the engine model routes the indexed column around the
+merge, so its plan moves fewer bytes.
+"""
+
+from repro.experiments.harness import make_session, run_comparison
+from repro.workloads.queries import single_column_queries
+from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
+
+
+def run_ablation(rows):
+    results = {}
+    for model in ("cardinality", "engine"):
+        table = make_lineitem(rows)
+        session = make_session(table)
+        session.cost_model_name = model
+        session.invalidate_coster()
+        session.create_index(("l_receiptdate",))
+        session.create_index(("l_comment",))
+        comparison = run_comparison(
+            session, single_column_queries(LINEITEM_SC_COLUMNS)
+        )
+        results[model] = comparison
+    return results
+
+
+def test_cost_model_ablation(benchmark, bench_rows):
+    results = benchmark.pedantic(
+        run_ablation, args=(bench_rows,), rounds=1, iterations=1
+    )
+    cardinality = results["cardinality"]
+    engine = results["engine"]
+    print(
+        f"\ncardinality model: work ratio {cardinality.work_ratio:.2f}, "
+        f"index scans {cardinality.execution.metrics.index_scans}"
+    )
+    print(
+        f"engine model:      work ratio {engine.work_ratio:.2f}, "
+        f"index scans {engine.execution.metrics.index_scans}"
+    )
+    # Both models beat naive...
+    assert cardinality.work_ratio > 1.0
+    assert engine.work_ratio > 1.0
+    # ...but only the engine model is physical-design aware, so its
+    # plan must do no more work than the cardinality model's.
+    assert engine.plan_work <= cardinality.plan_work * 1.02

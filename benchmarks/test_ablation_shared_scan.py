@@ -1,0 +1,54 @@
+"""Ablation: GB-MQO staging vs shared-scan aggregation (refs [2,8]).
+
+Shared scans answer every query in one pass but hold one aggregation
+state per query; when memory is tight, they split into multiple passes
+and the scan volume grows back toward naive.  GB-MQO's staged temps
+bound state per step instead.  This ablation sweeps the shared-scan
+group budget and locates the crossover.
+"""
+
+from repro.baselines.shared_scan import shared_scan
+from repro.experiments.harness import make_session, run_comparison
+from repro.workloads.queries import single_column_queries
+from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
+
+
+def run_ablation(rows):
+    table = make_lineitem(rows)
+    session = make_session(table)
+    queries = single_column_queries(LINEITEM_SC_COLUMNS)
+    comparison = run_comparison(session, queries)
+    outcomes = {"gbmqo_work": comparison.plan_work,
+                "naive_work": comparison.naive_work}
+    for label, budget in (
+        ("unbounded", float("inf")),
+        ("tight", 1.0),
+    ):
+        run = shared_scan(
+            session.catalog,
+            table.name,
+            queries,
+            session.estimator,
+            group_budget=budget,
+        )
+        outcomes[f"shared_{label}_work"] = run.metrics.work
+        outcomes[f"shared_{label}_passes"] = run.passes
+    return outcomes
+
+
+def test_shared_scan_ablation(benchmark, bench_rows):
+    outcomes = benchmark.pedantic(
+        run_ablation, args=(bench_rows,), rounds=1, iterations=1
+    )
+    print("\n", outcomes)
+    # With unbounded memory a single shared pass beats everything on
+    # scan volume (it reads R exactly once).
+    assert outcomes["shared_unbounded_passes"] == 1
+    assert outcomes["shared_unbounded_work"] < outcomes["gbmqo_work"]
+    # Under a state budget too small for any sharing, the shared scan
+    # degenerates to one pass per query (= the naive plan's scans) and
+    # loses to GB-MQO's staging — the crossover staging exists for.
+    assert outcomes["shared_tight_passes"] == 12
+    assert outcomes["shared_tight_work"] > outcomes["gbmqo_work"]
+    # Everybody still beats naive.
+    assert outcomes["gbmqo_work"] < outcomes["naive_work"]

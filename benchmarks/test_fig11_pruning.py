@@ -1,0 +1,34 @@
+"""Benchmark for Figure 11 — impact of the pruning techniques
+(Section 6.6).
+
+Paper shape: on TC workloads, S and M each cut optimizer calls
+substantially and S+M cuts them the most (up to ~80%), while the plan
+still reduces naive cost by a large margin.
+"""
+
+from repro.experiments import exp_fig11
+
+
+def test_fig11_shapes(benchmark, bench_rows):
+    result = benchmark.pedantic(
+        exp_fig11.run,
+        kwargs={
+            "rows": max(bench_rows // 2, 10_000),
+            "datasets": ("tpc-h", "sales"),
+            "workloads": ("SC", "TC"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    by_key = {(r[0], r[1]): r for r in result.rows}
+    for dataset in ("tpc-h (tc)", "sales (tc)"):
+        none_calls = by_key[(dataset, "None")][2]
+        sm_calls = by_key[(dataset, "S+M")][2]
+        s_calls = by_key[(dataset, "S")][2]
+        assert s_calls <= none_calls
+        assert sm_calls <= none_calls
+        # Substantial reduction on the TC workloads.
+        assert sm_calls <= none_calls * 0.7
+        # The pruned optimizer's plan still beats naive on work.
+        assert by_key[(dataset, "S+M")][4] > 0

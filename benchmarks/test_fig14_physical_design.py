@@ -1,0 +1,26 @@
+"""Benchmark for Figure 14 — impact of physical design (Section 6.9).
+
+Paper shape: execution time falls as non-clustered indexes are added;
+plans adapt — a column leaves its merged group and becomes a singleton
+once a covering index exists (the paper's l_receiptdate observation).
+"""
+
+from repro.experiments import exp_fig14
+
+
+def test_fig14_shapes(benchmark, bench_rows):
+    result = benchmark.pedantic(
+        exp_fig14.run, kwargs={"rows": bench_rows}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    work = result.column("Work (MB)")
+    # Indexes never hurt and the full set helps substantially.
+    assert work[-1] < work[0] * 0.75
+    assert all(b <= a * 1.05 for a, b in zip(work, work[1:]))
+    # Plan adaptation: l_receiptdate is merged with other dates before
+    # its index exists, and a singleton afterwards.
+    flags = result.column("receiptdate singleton?")
+    assert flags[0] == "no"
+    assert all(flag == "yes" for flag in flags[1:])
+    # Index scans actually happen.
+    assert result.column("Index scans")[-1] >= 5

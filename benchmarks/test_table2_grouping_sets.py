@@ -1,0 +1,32 @@
+"""Benchmark for Table 2 — speedup over GROUPING SETS (Section 6.1).
+
+Paper shape: GB-MQO far ahead of the commercial GROUPING SETS strategy
+on the SC input (paper: 4.46x), comparable on CONT (paper: 1.08x).
+"""
+
+from repro.experiments import exp_table2
+
+
+def test_table2_shapes(benchmark, bench_rows):
+    result = benchmark.pedantic(
+        exp_table2.run,
+        kwargs={"rows": bench_rows, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    speedups = dict(zip(result.column("Query"), result.column("Speedup")))
+    strategies = dict(
+        zip(result.column("Query"), result.column("GrpSet strategy"))
+    )
+    # The commercial system picks the strategies the paper observed:
+    # the near-naive union plan for SC, shared sorts for CONT — the
+    # mechanism behind the paper's 4.46x-vs-1.08x asymmetry.
+    assert strategies["SC"] == "union_groupby"
+    assert strategies["CONT"] == "shared_sort"
+    # GB-MQO decisively beats GROUPING SETS on SC...
+    assert speedups["SC"] > 1.5
+    # ...and is at least comparable on CONT (our engine's GB-MQO can
+    # exceed the paper's parity because it materializes the tiny date
+    # union; CONT wall times are small so only the band is asserted).
+    assert speedups["CONT"] > 0.8

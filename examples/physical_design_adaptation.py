@@ -1,0 +1,81 @@
+"""Physical-design adaptation: plans change when indexes appear.
+
+Section 6.9's observation, live: before an index on l_receiptdate
+exists, the optimizer merges the date columns into one shared
+intermediate; once the index is created, scanning the narrow sorted
+projection is cheaper than sharing, so l_receiptdate becomes a
+singleton answered straight from the index.
+
+Run with::
+
+    python examples/physical_design_adaptation.py [rows]
+"""
+
+import sys
+
+from repro import api
+from repro.workloads.tpch import LINEITEM_SC_COLUMNS
+
+
+def describe_column_placement(plan, column: str) -> str:
+    for subplan in plan.subplans:
+        answered = subplan.answered_queries()
+        if frozenset([column]) in answered or subplan.node.columns == frozenset([column]):
+            if subplan.node.columns == frozenset([column]):
+                return "singleton (direct from R)"
+            return f"inside merged group {sorted(subplan.node.columns)}"
+    return "not found"
+
+
+def run_and_report(session, queries, label):
+    result = session.optimize(queries)
+    execution = session.execute(result.plan)
+    print(f"\n=== {label} ===")
+    print(
+        f"execution {execution.wall_seconds:.3f}s, "
+        f"{execution.metrics.work / 1e6:.0f} MB moved, "
+        f"{execution.metrics.index_scans} index scans"
+    )
+    print(
+        "l_receiptdate is "
+        + describe_column_placement(result.plan, "l_receiptdate")
+    )
+    print(
+        "l_comment is "
+        + describe_column_placement(result.plan, "l_comment")
+    )
+    return execution
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    table = api.make_lineitem(rows)
+    table.build_dictionaries()
+    session = api.Session.for_table(table, statistics="sampled")
+    queries = api.single_column_queries(LINEITEM_SC_COLUMNS)
+
+    baseline = run_and_report(session, queries, "no indexes")
+
+    session.create_index(
+        ("l_orderkey", "l_linenumber"), name="pk", clustered=True
+    )
+    session.create_index(("l_receiptdate",))
+    after_date = run_and_report(
+        session, queries, "clustered PK + index on l_receiptdate"
+    )
+
+    for column in ("l_shipdate", "l_commitdate", "l_partkey", "l_comment"):
+        session.create_index((column,))
+    after_all = run_and_report(session, queries, "five covering indexes")
+
+    print(
+        f"\nwork moved: {baseline.metrics.work / 1e6:.0f} MB -> "
+        f"{after_date.metrics.work / 1e6:.0f} MB -> "
+        f"{after_all.metrics.work / 1e6:.0f} MB"
+    )
+    print("the optimizer adapted without being told about the indexes —")
+    print("the cost model saw them, exactly as in Section 6.9")
+
+
+if __name__ == "__main__":
+    main()

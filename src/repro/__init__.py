@@ -1,0 +1,47 @@
+"""repro — reproduction of "Efficient Computation of Multiple Group By
+Queries" (Chen & Narasayya, SIGMOD 2005).
+
+The package implements the paper's GB-MQO optimizer and everything it
+needs to run end to end: an in-memory columnar engine, statistics and
+cost models, the commercial-style baselines it is compared against,
+synthetic versions of the paper's datasets, and one experiment module
+per table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import api
+
+    table = api.make_lineitem(100_000)
+    session = api.Session.for_table(table)
+    result = session.optimize(api.single_column_queries(table.column_names))
+    print(result.plan.render())
+    answers = session.execute(result.plan)
+"""
+
+from repro import api
+from repro.core import (
+    GbMqoOptimizer,
+    LogicalPlan,
+    OptimizerOptions,
+    PlanNode,
+    SubPlan,
+    column_set,
+    naive_plan,
+)
+from repro.engine import Catalog, PlanExecutor, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "GbMqoOptimizer",
+    "LogicalPlan",
+    "OptimizerOptions",
+    "PlanExecutor",
+    "PlanNode",
+    "SubPlan",
+    "Table",
+    "api",
+    "column_set",
+    "naive_plan",
+]

@@ -1,0 +1,276 @@
+"""High-level public API: a Session tying the whole system together.
+
+A :class:`Session` owns a catalog with one base relation, a statistics
+source, a cost model, and an executor, and exposes the paper's workflow
+as three calls: ``optimize`` (run GB-MQO), ``execute`` (run a logical
+plan), and ``run`` (both).  Everything underneath is reachable for
+advanced use, but the examples and experiments go through this facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.optimizer import (
+    GbMqoOptimizer,
+    OptimizationResult,
+    OptimizerOptions,
+)
+from repro.core.plan import LogicalPlan, naive_plan
+from repro.core.scheduling import depth_first_schedule, storage_minimizing_schedule
+from repro.core.storage import estimator_size_fn
+from repro.costmodel.base import PlanCoster
+from repro.costmodel.cardinality import CardinalityCostModel
+from repro.costmodel.engine_model import EngineCostModel
+from repro.engine.aggregation import AggregateSpec
+from repro.engine.catalog import Catalog
+from repro.engine.executor import ExecutionResult, PlanExecutor
+from repro.engine.indexes import IndexSpec
+from repro.engine.table import Table
+from repro.stats.cardinality import (
+    CardinalityEstimator,
+    ExactCardinalityEstimator,
+    SampledCardinalityEstimator,
+)
+
+# Re-exports that make ``from repro import api`` self-sufficient.
+from repro.workloads.queries import (  # noqa: F401
+    containment_workload,
+    single_column_queries,
+    two_column_queries,
+)
+from repro.workloads.tpch import make_lineitem  # noqa: F401
+
+
+@dataclass
+class RunOutcome:
+    """optimize + execute in one call."""
+
+    optimization: OptimizationResult
+    execution: ExecutionResult
+
+
+class Session:
+    """One base relation plus everything needed to plan and run on it.
+
+    Args:
+        catalog: catalog already holding the base relation.
+        base_table: the relation's name.
+        estimator: cardinality source for the cost models.
+        cost_model: 'engine' (the realistic optimizer model, default) or
+            'cardinality' (the analytic Section 3.2.1 model).
+        use_indexes: let execution answer queries from covering indexes.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        base_table: str,
+        estimator: CardinalityEstimator,
+        cost_model: str = "engine",
+        use_indexes: bool = True,
+        enable_plan_cache: bool = False,
+    ) -> None:
+        self.catalog = catalog
+        self.base_table = base_table
+        self.estimator = estimator
+        self.cost_model_name = cost_model
+        self.use_indexes = use_indexes
+        self._coster: PlanCoster | None = None
+        #: Plan cache: (queries, options) -> OptimizationResult, keyed
+        #: per physical-design version.  Off by default so experiment
+        #: timings stay honest; enable for serving workloads.
+        self.enable_plan_cache = enable_plan_cache
+        self._plan_cache: dict = {}
+        self._design_version = 0
+        self.plan_cache_hits = 0
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def for_table(
+        cls,
+        table: Table,
+        statistics: str = "exact",
+        cost_model: str = "engine",
+        sample_rows: int = 10_000,
+        seed: int = 0,
+        use_indexes: bool = True,
+    ) -> "Session":
+        """Build a session around one table.
+
+        Args:
+            table: the base relation.
+            statistics: 'exact' (oracle) or 'sampled' (GEE over a
+                sample, metered — the realistic mode).
+            cost_model: 'engine' or 'cardinality'.
+            sample_rows: sample size for sampled statistics.
+            seed: sampling seed.
+            use_indexes: allow covering-index execution paths.
+        """
+        catalog = Catalog()
+        catalog.add_table(table)
+        if statistics == "exact":
+            estimator: CardinalityEstimator = ExactCardinalityEstimator(table)
+        elif statistics == "sampled":
+            estimator = SampledCardinalityEstimator(
+                table, sample_rows=sample_rows, seed=seed
+            )
+        else:
+            raise ValueError(f"unknown statistics mode {statistics!r}")
+        return cls(
+            catalog,
+            table.name,
+            estimator,
+            cost_model=cost_model,
+            use_indexes=use_indexes,
+        )
+
+    # -- cost model / coster ------------------------------------------------------
+
+    def coster(self) -> PlanCoster:
+        """The session's plan coster (rebuilt after physical changes)."""
+        if self._coster is None:
+            if self.cost_model_name == "cardinality":
+                model = CardinalityCostModel(self.estimator)
+            elif self.cost_model_name == "engine":
+                model = EngineCostModel(
+                    self.estimator,
+                    catalog=self.catalog,
+                    base_table=self.base_table,
+                    use_indexes=self.use_indexes,
+                )
+            else:
+                raise ValueError(
+                    f"unknown cost model {self.cost_model_name!r}"
+                )
+            self._coster = PlanCoster(model)
+        return self._coster
+
+    def invalidate_coster(self) -> None:
+        """Drop cached costs and plans (after physical-design changes)."""
+        self._coster = None
+        self._design_version += 1
+
+    # -- physical design -----------------------------------------------------------
+
+    def create_index(
+        self, columns: tuple[str, ...], name: str | None = None, clustered: bool = False
+    ) -> None:
+        """Create an index on the base relation and refresh costing."""
+        index_name = name or ("ix_" + "_".join(columns))
+        self.catalog.create_index(
+            self.base_table, IndexSpec(index_name, tuple(columns), clustered)
+        )
+        self.invalidate_coster()
+
+    # -- planning and execution -----------------------------------------------------
+
+    def optimize(
+        self,
+        queries: list[frozenset],
+        options: OptimizerOptions | None = None,
+    ) -> OptimizationResult:
+        """Run the GB-MQO hill climber on the input queries.
+
+        With :attr:`enable_plan_cache` set, repeated calls for the same
+        (query set, options) under an unchanged physical design return
+        the previously computed result (its ``optimization_seconds``
+        reflects the original run).
+        """
+        if self.enable_plan_cache:
+            key = (
+                frozenset(frozenset(q) for q in queries),
+                options,
+                self._design_version,
+            )
+            if key in self._plan_cache:
+                self.plan_cache_hits += 1
+                return self._plan_cache[key]
+            result = GbMqoOptimizer(self.coster(), options).optimize(
+                self.base_table, queries
+            )
+            self._plan_cache[key] = result
+            return result
+        optimizer = GbMqoOptimizer(self.coster(), options)
+        return optimizer.optimize(self.base_table, queries)
+
+    def execute(
+        self,
+        plan: LogicalPlan,
+        schedule: str = "storage",
+        aggregates: list[AggregateSpec] | None = None,
+    ) -> ExecutionResult:
+        """Execute a logical plan.
+
+        Args:
+            plan: the plan to run.
+            schedule: 'storage' follows the Section 4.4.1 BF/DF marking;
+                'depth_first' uses plain pre-order.
+            aggregates: aggregate list (COUNT(*) by default).
+        """
+        if schedule == "storage":
+            steps = storage_minimizing_schedule(
+                plan, estimator_size_fn(self.estimator)
+            )
+        elif schedule == "depth_first":
+            steps = depth_first_schedule(plan)
+        else:
+            raise ValueError(f"unknown schedule {schedule!r}")
+        executor = PlanExecutor(
+            self.catalog,
+            self.base_table,
+            aggregates=aggregates,
+            use_indexes=self.use_indexes,
+        )
+        return executor.execute(plan, steps)
+
+    def run(
+        self,
+        queries: list[frozenset],
+        options: OptimizerOptions | None = None,
+    ) -> RunOutcome:
+        """Optimize then execute in one call."""
+        optimization = self.optimize(queries, options)
+        execution = self.execute(optimization.plan)
+        return RunOutcome(optimization, execution)
+
+    def run_naive(self, queries: list[frozenset]) -> ExecutionResult:
+        """Execute the naive plan (the baseline of every experiment)."""
+        return self.execute(naive_plan(self.base_table, queries))
+
+    def explain(self, plan: LogicalPlan):
+        """EXPLAIN a plan: per-node estimates and edge costs.
+
+        Returns:
+            A :class:`repro.core.explain.PlanExplanation`; print its
+            ``render()`` for the human-readable form.
+        """
+        from repro.core.explain import explain_plan
+
+        return explain_plan(plan, self.coster(), self.estimator)
+
+    def run_with_aggregates(self, queries, options=None):
+        """Optimize and execute a workload with per-query aggregates.
+
+        The Section 7.2 extension end to end: the optimizer plans over
+        the queries' column sets; execution materializes the union of
+        each subtree's aggregates and re-aggregates distributively
+        (AVG is decomposed and recombined automatically).
+
+        Args:
+            queries: list of :class:`repro.core.extensions.AggregateQuery`.
+            options: optimizer knobs (CUBE/ROLLUP must stay disabled).
+
+        Returns:
+            (OptimizationResult, MultiAggregateResult).
+        """
+        from repro.core.extensions import queries_to_column_sets
+        from repro.engine.multi_aggregate import execute_multi_aggregate
+
+        column_sets = queries_to_column_sets(queries)
+        optimization = self.optimize(column_sets, options)
+        execution = execute_multi_aggregate(
+            self.catalog, self.base_table, optimization.plan, queries
+        )
+        return optimization, execution

@@ -1,0 +1,170 @@
+"""Lattice-based partial-cube planner (the related-work baseline).
+
+Prior solutions to multi-Group-By optimization ([4, 14, 16] in the
+paper) assume the full search lattice — every subset of the union of
+the input columns — is constructed before optimization, then select
+nodes to materialize (a Steiner-tree-style approximation).  This module
+implements that approach faithfully, including its fatal flaw: lattice
+construction is Θ(2^m) in the number m of distinct columns, which is
+exactly why the paper's bottom-up algorithm exists.
+
+The greedy selection is in the spirit of Harinarayan et al. (SIGMOD
+'96): repeatedly materialize the lattice node with the largest benefit,
+where each input query is answered from its cheapest materialized
+ancestor (or the base relation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+from repro.costmodel.base import PlanCoster
+
+
+class LatticeTooLargeError(Exception):
+    """The column universe makes the full lattice impractical."""
+
+
+@dataclass
+class GreedyLatticeResult:
+    """Outcome of the lattice-based planner."""
+
+    plan: LogicalPlan
+    cost: float
+    lattice_nodes: int
+    lattice_seconds: float
+    selection_seconds: float
+
+
+class GreedyLatticePlanner:
+    """Full-lattice construction + greedy node selection.
+
+    Args:
+        coster: shared plan coster (same cost models as GB-MQO).
+        max_columns: refuse to build lattices wider than this — the
+            scaling experiments call with increasing widths to show the
+            explosion.
+    """
+
+    def __init__(self, coster: PlanCoster, max_columns: int = 16) -> None:
+        self._coster = coster
+        self._max_columns = max_columns
+
+    def build_lattice(self, queries: list[frozenset]) -> list[frozenset]:
+        """Every non-empty subset of the union of the input columns."""
+        universe = sorted(frozenset().union(*queries))
+        if len(universe) > self._max_columns:
+            raise LatticeTooLargeError(
+                f"{len(universe)} columns imply a lattice of "
+                f"2^{len(universe)} nodes"
+            )
+        lattice: list[frozenset] = []
+        for size in range(1, len(universe) + 1):
+            for subset in combinations(universe, size):
+                lattice.append(frozenset(subset))
+        return lattice
+
+    def optimize(
+        self, relation: str, queries: list[frozenset]
+    ) -> GreedyLatticeResult:
+        """Greedy view selection over the fully constructed lattice."""
+        queries = sorted(set(queries), key=lambda q: (len(q), sorted(q)))
+        started = time.perf_counter()
+        lattice = self.build_lattice(queries)
+        lattice_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        nodes = {q: PlanNode(q) for q in lattice}
+        query_set = set(queries)
+
+        def answer_cost(query: frozenset, sources: set[frozenset]) -> float:
+            best = self._coster.edge_cost(None, nodes[query], False)
+            for source in sources:
+                if query < source:
+                    best = min(
+                        best,
+                        self._coster.edge_cost(
+                            nodes[source], nodes[query], False
+                        ),
+                    )
+            return best
+
+        def total_cost(sources: set[frozenset]) -> float:
+            cost = sum(
+                self._coster.edge_cost(None, nodes[s], True) for s in sources
+            )
+            cost += sum(answer_cost(q, sources) for q in query_set - sources)
+            return cost
+
+        materialized: set[frozenset] = set()
+        current = total_cost(materialized)
+        improved = True
+        while improved:
+            improved = False
+            best_candidate, best_cost = None, current
+            for candidate in lattice:
+                if candidate in materialized:
+                    continue
+                if not any(q <= candidate for q in query_set):
+                    continue
+                cost = total_cost(materialized | {candidate})
+                if cost < best_cost:
+                    best_candidate, best_cost = candidate, cost
+            if best_candidate is not None:
+                materialized.add(best_candidate)
+                current = best_cost
+                improved = True
+        selection_seconds = time.perf_counter() - started
+
+        plan = self._to_plan(relation, queries, materialized)
+        return GreedyLatticeResult(
+            plan=plan,
+            cost=self._coster.plan_cost(plan),
+            lattice_nodes=len(lattice),
+            lattice_seconds=lattice_seconds,
+            selection_seconds=selection_seconds,
+        )
+
+    def _to_plan(
+        self,
+        relation: str,
+        queries: list[frozenset],
+        materialized: set[frozenset],
+    ) -> LogicalPlan:
+        """Assemble the depth-1 materialization into a logical plan."""
+        nodes = {q: PlanNode(q) for q in set(queries) | materialized}
+        assigned: dict[frozenset, list[frozenset]] = {m: [] for m in materialized}
+        direct: list[frozenset] = []
+        for query in queries:
+            if query in materialized:
+                continue
+            best_source, best_cost = None, self._coster.edge_cost(
+                None, nodes[query], False
+            )
+            for source in materialized:
+                if query < source:
+                    cost = self._coster.edge_cost(
+                        nodes[source], nodes[query], False
+                    )
+                    if cost < best_cost:
+                        best_source, best_cost = source, cost
+            if best_source is None:
+                direct.append(query)
+            else:
+                assigned[best_source].append(query)
+        subplans: list[SubPlan] = []
+        for source in sorted(materialized, key=sorted):
+            children = tuple(
+                SubPlan.leaf(q) for q in sorted(assigned[source], key=sorted)
+            )
+            required = source in set(queries)
+            if not children and not required:
+                continue  # the greedy never profits from a dead node
+            subplans.append(SubPlan(nodes[source], children, required=required))
+        subplans.extend(SubPlan.leaf(q) for q in direct)
+        plan = LogicalPlan(relation, tuple(subplans), frozenset(queries))
+        plan.validate()
+        return plan

@@ -1,0 +1,252 @@
+"""Command-line interface: profile a CSV file the way the paper's data
+analyst would.
+
+Subcommands::
+
+    python -m repro.cli profile data.csv [--combi 2] [--statistics sampled]
+    python -m repro.cli plan data.csv --queries "city;state;city,state"
+    python -m repro.cli compare data.csv [--combi 2]
+
+``profile`` runs the single-column (or Combi) workload through GB-MQO
+and prints a data-quality report; ``plan`` shows the chosen logical
+plan, the SQL script, and optionally DOT; ``compare`` times GB-MQO
+against the naive plan and the commercial-style GROUPING SETS strategy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import Session
+from repro.baselines.grouping_sets import CommercialGroupingSetsPlanner
+from repro.core.visualize import plan_to_dot
+from repro.engine.csv_io import load_csv
+from repro.engine.sqlgen import plan_to_sql
+from repro.workloads.queries import combi_workload, single_column_queries
+
+
+def _build_session(args) -> tuple[Session, list[frozenset]]:
+    table = load_csv(args.csv, max_rows=args.max_rows)
+    table.build_dictionaries()
+    session = Session.for_table(table, statistics=args.statistics)
+    columns = args.columns.split(",") if args.columns else list(table.column_names)
+    if getattr(args, "queries", None):
+        queries = [
+            frozenset(part.split(",")) for part in args.queries.split(";")
+        ]
+    elif args.combi > 1:
+        queries = combi_workload(columns, args.combi)
+    else:
+        queries = single_column_queries(columns)
+    return session, queries
+
+
+def cmd_profile(args) -> int:
+    session, queries = _build_session(args)
+    table = session.catalog.get(session.base_table)
+    if args.combi > 1 or any(len(q) > 1 for q in queries):
+        # Multi-column workloads: show the plan and distribution sizes.
+        print(
+            f"profiling {table.name}: {table.num_rows:,} rows, "
+            f"{len(queries)} Group By queries"
+        )
+        result = session.optimize(queries)
+        print("\nplan:")
+        print(result.plan.render())
+        execution = session.execute(result.plan)
+        print(
+            f"\nexecuted in {execution.wall_seconds:.3f}s "
+            f"({execution.metrics.queries_executed} queries, "
+            f"{execution.metrics.work / 1e6:.1f} MB moved)"
+        )
+        print("\ndistribution sizes:")
+        for query in sorted(queries, key=lambda q: (len(q), sorted(q))):
+            groups = execution.results[query].num_rows
+            label = ",".join(sorted(query))
+            ratio = groups / max(table.num_rows, 1)
+            flag = "  <- (almost) a key" if ratio > 0.95 else ""
+            print(f"  ({label}): {groups:,} distinct{flag}")
+        return 0
+    # Single-column profiling: the full data-quality report.
+    from repro.profile import profile_table
+
+    key_candidates = (
+        [tuple(part.split(",")) for part in args.key.split(";")]
+        if args.key
+        else []
+    )
+    report = profile_table(
+        table,
+        columns=[sorted(q)[0] for q in queries],
+        key_candidates=key_candidates,
+        session=session,
+    )
+    print(report.render())
+    return 0
+
+
+def cmd_plan(args) -> int:
+    session, queries = _build_session(args)
+    result = session.optimize(queries)
+    print(result.plan.render())
+    print(
+        f"\nestimated cost {result.cost:,.0f} "
+        f"(naive {result.naive_cost:,.0f}, "
+        f"{result.estimated_speedup:.2f}x), "
+        f"{result.optimizer_calls} optimizer calls"
+    )
+    print("\n-- SQL script --")
+    for statement in plan_to_sql(result.plan):
+        print(statement)
+    if args.explain:
+        print("\n-- EXPLAIN --")
+        print(session.explain(result.plan).render())
+    if args.dot:
+        print("\n-- DOT --")
+        print(plan_to_dot(result.plan))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    session, queries = _build_session(args)
+    result = session.optimize(queries)
+    execution = session.execute(result.plan)
+    naive = session.run_naive(queries)
+    planner = CommercialGroupingSetsPlanner(
+        session.catalog, session.base_table
+    )
+    started = time.perf_counter()
+    outcome = planner.execute(queries)
+    gs_seconds = time.perf_counter() - started
+    print(f"naive:          {naive.wall_seconds:.3f}s")
+    print(f"GROUPING SETS:  {gs_seconds:.3f}s ({outcome.strategy})")
+    print(f"GB-MQO:         {execution.wall_seconds:.3f}s")
+    print(
+        f"speedup vs naive: {naive.wall_seconds / execution.wall_seconds:.2f}x "
+        f"(work: {naive.metrics.work / execution.metrics.work:.2f}x)"
+    )
+    return 0
+
+
+def cmd_sql(args) -> int:
+    from repro.core.gs_planner import plan_grouping_sets
+    from repro.engine.sqlparse import parse_sql
+
+    table = load_csv(args.csv, max_rows=args.max_rows)
+    table.build_dictionaries()
+    session = Session.for_table(table, statistics=args.statistics)
+    parsed = parse_sql(args.statement)
+    if parsed.table != table.name:
+        # The statement names the logical relation; bind it to the file.
+        session.catalog.drop(table.name)
+        session.catalog.add_table(table.rename(parsed.table))
+        session.invalidate_coster()
+    planned = plan_grouping_sets(parsed.to_expression(), session.catalog)
+    print(f"strategy: {planned.strategy}")
+    print("plan:")
+    print(planned.optimization.plan.render())
+    result = parsed.apply_having(planned.table)
+    print(f"\n{result.num_rows:,} result rows; first {min(args.limit, result.num_rows)}:")
+    header = "  ".join(result.column_names)
+    print(header)
+    print("-" * len(header))
+    for row in result.to_rows()[: args.limit]:
+        print("  ".join(str(v) for v in row))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GB-MQO (SIGMOD 2005) over CSV files",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("csv", help="input CSV file with a header row")
+        p.add_argument(
+            "--columns",
+            help="comma-separated columns to profile (default: all)",
+        )
+        p.add_argument(
+            "--combi",
+            type=int,
+            default=1,
+            help="profile all column subsets up to this size (default 1)",
+        )
+        p.add_argument(
+            "--statistics",
+            choices=("exact", "sampled"),
+            default="sampled",
+        )
+        p.add_argument(
+            "--max-rows", type=int, default=None, help="row cap when loading"
+        )
+
+    profile = sub.add_parser("profile", help="data-quality profile")
+    common(profile)
+    profile.add_argument(
+        "--key",
+        help="key-check candidates, e.g. 'last,first,zip;last,zip'",
+    )
+    profile.set_defaults(fn=cmd_profile)
+
+    plan = sub.add_parser("plan", help="show the optimized plan and SQL")
+    common(plan)
+    plan.add_argument(
+        "--queries",
+        help="explicit queries, e.g. 'city;state;city,state'",
+    )
+    plan.add_argument("--dot", action="store_true", help="also print DOT")
+    plan.add_argument(
+        "--explain",
+        action="store_true",
+        help="per-node estimates and edge costs",
+    )
+    plan.set_defaults(fn=cmd_plan)
+
+    compare = sub.add_parser("compare", help="time GB-MQO vs baselines")
+    common(compare)
+    compare.set_defaults(fn=cmd_compare)
+
+    sql = sub.add_parser(
+        "sql", help="run a GROUPING SETS / CUBE / ROLLUP statement"
+    )
+    sql.add_argument("csv", help="input CSV file with a header row")
+    sql.add_argument(
+        "statement",
+        help="e.g. \"SELECT a, COUNT(*) FROM data "
+        "GROUP BY GROUPING SETS ((a), (b))\"",
+    )
+    sql.add_argument(
+        "--statistics", choices=("exact", "sampled"), default="sampled"
+    )
+    sql.add_argument("--max-rows", type=int, default=None)
+    sql.add_argument(
+        "--limit", type=int, default=20, help="result rows to print"
+    )
+    sql.set_defaults(fn=cmd_sql)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except Exception as error:  # engine/parse errors -> clean exit
+        from repro.engine.sqlparse import SqlParseError
+        from repro.engine.types import EngineError
+
+        if isinstance(error, (EngineError, SqlParseError)):
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        raise
+
+
+if __name__ == "__main__":
+    sys.exit(main())

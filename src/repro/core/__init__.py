@@ -1,0 +1,26 @@
+"""GB-MQO: the paper's primary contribution.
+
+Logical plans over Group By queries (Section 3), the SubPlanMerge operator
+(Section 4.1, Figure 4), the bottom-up hill-climbing optimizer (Section
+4.2, Figure 5), the subsumption / monotonicity pruning techniques
+(Section 4.3), intermediate-storage sequencing (Section 4.4), the
+exhaustive optimal planner used in Section 6.3, logical GROUPING SETS
+rewrites (Section 5.1), and the CUBE/ROLLUP and multi-aggregate
+extensions (Section 7).
+"""
+
+from repro.core.columnset import column_set, format_columns
+from repro.core.optimizer import GbMqoOptimizer, OptimizerOptions
+from repro.core.plan import LogicalPlan, NodeKind, PlanNode, SubPlan, naive_plan
+
+__all__ = [
+    "GbMqoOptimizer",
+    "LogicalPlan",
+    "NodeKind",
+    "OptimizerOptions",
+    "PlanNode",
+    "SubPlan",
+    "column_set",
+    "format_columns",
+    "naive_plan",
+]

@@ -1,0 +1,186 @@
+"""Exhaustive search for the optimal logical plan (Section 6.3).
+
+The paper implements an exhaustive search under the commercial
+optimizer's cost model to measure how far the GB-MQO hill climber lands
+from the optimum (Figure 9); exponential cost limits it to 7 columns.
+
+This module searches the closure of the algorithm's own plan space: tree
+plans whose intermediate nodes are unions of the required queries
+beneath them.  Larger intermediate nodes are never cheaper under any
+row-monotone cost model, so this space contains an optimal plan.  The
+search is a dynamic program over subsets of the required queries:
+
+    opt(T, parent) = cheapest way to answer query set T, all computed
+                     (directly or transitively) from ``parent``
+
+partitioning T into blocks, where a non-singleton block B is computed
+through the materialized union of its queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+from repro.costmodel.base import PlanCoster
+
+
+class ExhaustiveSearchError(Exception):
+    """The input is too large for exhaustive search."""
+
+
+@dataclass
+class ExhaustiveResult:
+    """Outcome of the exhaustive search."""
+
+    plan: LogicalPlan
+    cost: float
+    states_explored: int
+    optimizer_calls: int
+
+
+def optimal_plan(
+    relation: str,
+    required: Iterable[frozenset],
+    coster: PlanCoster,
+    max_queries: int = 14,
+) -> ExhaustiveResult:
+    """Find the minimum-cost plan over the laminar-union plan space.
+
+    Args:
+        relation: base relation name.
+        required: the input Group By queries.
+        coster: plan coster (shared edge cache / call counting).
+        max_queries: safety bound; beyond it the 3^n DP is impractical.
+
+    Raises:
+        ExhaustiveSearchError: if there are more than ``max_queries``
+            distinct input queries.
+    """
+    queries: list[frozenset] = sorted(
+        {frozenset(q) for q in required}, key=lambda q: (len(q), sorted(q))
+    )
+    n = len(queries)
+    if n == 0:
+        raise ExhaustiveSearchError("no input queries")
+    if n > max_queries:
+        raise ExhaustiveSearchError(
+            f"{n} queries exceed the exhaustive-search bound {max_queries}"
+        )
+    calls_before = coster.optimizer_calls
+
+    # Encode every column mentioned anywhere as a bit.
+    columns = sorted({c for q in queries for c in q})
+    bit_of = {c: 1 << i for i, c in enumerate(columns)}
+    query_cmask = [sum(bit_of[c] for c in q) for q in queries]
+
+    node_cache: dict[int, PlanNode] = {}
+
+    def node_for(cmask: int) -> PlanNode:
+        if cmask not in node_cache:
+            cols = frozenset(c for c in columns if cmask & bit_of[c])
+            node_cache[cmask] = PlanNode(cols)
+        return node_cache[cmask]
+
+    leaf_cache: dict[int, SubPlan] = {}
+
+    def leaf_for(index: int) -> SubPlan:
+        if index not in leaf_cache:
+            leaf_cache[index] = SubPlan.leaf(queries[index])
+        return leaf_cache[index]
+
+    states = 0
+    memo: dict[tuple[int, int], tuple[float, tuple[SubPlan, ...]]] = {}
+
+    def union_cmask(t_mask: int) -> int:
+        cmask = 0
+        i = 0
+        mask = t_mask
+        while mask:
+            if mask & 1:
+                cmask |= query_cmask[i]
+            mask >>= 1
+            i += 1
+        return cmask
+
+    def block_plan(
+        b_mask: int, parent_cmask: int
+    ) -> tuple[float, SubPlan] | None:
+        """Cheapest sub-tree answering exactly block ``b_mask`` from the
+        parent with column mask ``parent_cmask`` (-1 means R)."""
+        indices = _bits(b_mask)
+        parent_node = None if parent_cmask == -1 else node_for(parent_cmask)
+        if len(indices) == 1:
+            index = indices[0]
+            if query_cmask[index] == parent_cmask:
+                return None  # a node cannot be its own child
+            leaf = leaf_for(index)
+            cost = coster.edge_cost(parent_node, leaf.node, False)
+            return cost, leaf
+        u_cmask = union_cmask(b_mask)
+        if u_cmask == parent_cmask:
+            return None
+        u_node = node_for(u_cmask)
+        inner = b_mask
+        u_required = False
+        for index in indices:
+            if query_cmask[index] == u_cmask:
+                inner &= ~(1 << index)
+                u_required = True
+        inner_cost, inner_plans = opt(inner, u_cmask)
+        materialize = bool(inner_plans)
+        cost = coster.edge_cost(parent_node, u_node, materialize)
+        subplan = SubPlan(u_node, inner_plans, u_required)
+        return cost + inner_cost, subplan
+
+    def opt(t_mask: int, parent_cmask: int) -> tuple[float, tuple[SubPlan, ...]]:
+        nonlocal states
+        if t_mask == 0:
+            return 0.0, ()
+        key = (t_mask, parent_cmask)
+        if key in memo:
+            return memo[key]
+        states += 1
+        lowest = t_mask & -t_mask
+        rest = t_mask ^ lowest
+        best_cost = float("inf")
+        best_plans: tuple[SubPlan, ...] = ()
+        sub = rest
+        while True:
+            b_mask = sub | lowest
+            block = block_plan(b_mask, parent_cmask)
+            if block is not None:
+                block_cost, block_subplan = block
+                rest_cost, rest_plans = opt(t_mask ^ b_mask, parent_cmask)
+                total = block_cost + rest_cost
+                if total < best_cost:
+                    best_cost = total
+                    best_plans = (block_subplan,) + rest_plans
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        memo[key] = (best_cost, best_plans)
+        return memo[key]
+
+    full = (1 << n) - 1
+    cost, plans = opt(full, -1)
+    plan = LogicalPlan(relation, plans, frozenset(queries))
+    plan.validate()
+    return ExhaustiveResult(
+        plan=plan,
+        cost=cost,
+        states_explored=states,
+        optimizer_calls=coster.optimizer_calls - calls_before,
+    )
+
+
+def _bits(mask: int) -> Sequence[int]:
+    indices = []
+    i = 0
+    while mask:
+        if mask & 1:
+            indices.append(i)
+        mask >>= 1
+        i += 1
+    return indices

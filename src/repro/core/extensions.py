@@ -1,0 +1,137 @@
+"""Handling different aggregates per query (Section 7.2).
+
+The base problem assumes every query computes COUNT(*).  When queries
+carry different aggregate lists (SUM(x), MIN(y), ...), merging two
+sub-plans must decide what the shared intermediate node materializes:
+
+* **union**: one copy of v1 ∪ v2 carrying the union of both aggregate
+  lists — cheap to build, but the node gets wider;
+* **split**: multiple copies of v1 ∪ v2, each carrying only one side's
+  aggregates — narrow nodes, but built (and paid for) twice.
+
+The paper leaves the choice cost-based; :func:`choose_merge_strategy`
+implements exactly that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.engine.aggregation import AggregateSpec
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """A Group By query with an explicit aggregate list."""
+
+    columns: frozenset
+    aggregates: tuple[AggregateSpec, ...]
+
+    @classmethod
+    def count_star(cls, columns: frozenset) -> "AggregateQuery":
+        return cls(frozenset(columns), (AggregateSpec.count_star(),))
+
+
+def union_aggregates(
+    first: Sequence[AggregateSpec], second: Sequence[AggregateSpec]
+) -> tuple[AggregateSpec, ...]:
+    """Union of two aggregate lists, deduplicated by (func, column)."""
+    seen = {}
+    for spec in list(first) + list(second):
+        seen.setdefault((spec.func, spec.column), spec)
+    return tuple(seen.values())
+
+
+def aggregate_width(aggregates: Sequence[AggregateSpec]) -> int:
+    """Bytes per row the aggregate columns add to a materialized node."""
+    return 8 * len(aggregates)
+
+
+@dataclass(frozen=True)
+class MergeStrategy:
+    """Outcome of the cost-based union-vs-split decision."""
+
+    kind: str  # 'union' or 'split'
+    union_cost: float
+    split_cost: float
+
+    @property
+    def chosen_cost(self) -> float:
+        return min(self.union_cost, self.split_cost)
+
+
+def choose_merge_strategy(
+    q1: AggregateQuery,
+    q2: AggregateQuery,
+    estimator,
+    base_rows: float | None = None,
+) -> MergeStrategy:
+    """Decide whether a merged node should carry unioned aggregates or
+    be materialized once per aggregate list (Section 7.2).
+
+    Cost accounting (bytes written + bytes re-read by the two children):
+
+    * union: one node of width key_width + both aggregate widths;
+    * split: two nodes, each of width key_width + one side's aggregates,
+      but the base relation is scanned twice to build them.
+
+    Args:
+        q1, q2: the two queries being merged.
+        estimator: cardinality estimator for the base relation.
+        base_rows: override for the base relation row count.
+
+    Returns:
+        The chosen strategy with both candidate costs, so callers (and
+        tests) can see the crossover.
+    """
+    union_columns = q1.columns | q2.columns
+    rows = estimator.rows(union_columns)
+    scan = float(
+        base_rows if base_rows is not None else estimator.base_rows
+    )
+    key_width = estimator.row_width(union_columns)
+
+    both = union_aggregates(q1.aggregates, q2.aggregates)
+    union_width = key_width + aggregate_width(both)
+    union_cost = scan + 2 * rows * union_width
+
+    width_1 = key_width + aggregate_width(q1.aggregates)
+    width_2 = key_width + aggregate_width(q2.aggregates)
+    split_cost = 2 * scan + rows * width_1 + rows * width_2
+
+    kind = "union" if union_cost <= split_cost else "split"
+    return MergeStrategy(kind, union_cost, split_cost)
+
+
+def rewrite_for_parent(
+    aggregates: Sequence[AggregateSpec],
+) -> tuple[AggregateSpec, ...]:
+    """Aggregates to request from a child computed off a materialized
+    parent (COUNT -> SUM-of-count etc.); see
+    :func:`repro.engine.aggregation.reaggregate_specs`."""
+    from repro.engine.aggregation import reaggregate_specs
+
+    return tuple(reaggregate_specs(list(aggregates)))
+
+
+def queries_to_column_sets(
+    queries: Sequence[AggregateQuery],
+) -> list[frozenset]:
+    """Project aggregate queries to plain column sets for the optimizer."""
+    return [query.columns for query in queries]
+
+
+def aggregates_by_columns(
+    queries: Sequence[AggregateQuery],
+) -> Mapping[frozenset, tuple[AggregateSpec, ...]]:
+    """Index the aggregate lists by query column set, unioning clashes."""
+    table: dict[frozenset, tuple[AggregateSpec, ...]] = {}
+    for query in queries:
+        if query.columns in table:
+            table[query.columns] = union_aggregates(
+                table[query.columns], query.aggregates
+            )
+        else:
+            table[query.columns] = query.aggregates
+    return table

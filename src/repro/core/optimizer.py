@@ -1,0 +1,258 @@
+"""The GB-MQO hill-climbing optimizer (Section 4.2, Figure 5).
+
+Starts from the naive plan (every required query computed directly from
+R) and repeatedly applies the lowest-cost SubPlanMerge over all pairs of
+current sub-plans until no merge reduces total plan cost.  Unlike prior
+partial-cube work, the search DAG is never constructed: only the merges
+actually considered create nodes, which is what lets the algorithm scale
+to wide tables.
+
+Per the paper's running-time analysis, merge evaluations are memoized so
+only O(n^2) SubPlanMerge calls are made across the whole run: after a
+merge, only pairs involving the newly created sub-plan are evaluated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.columnset import BitsetCodec
+from repro.core.merge import MergeOptions, subplan_merge
+from repro.core.plan import LogicalPlan, SubPlan, naive_plan
+from repro.core.pruning import MonotonicityPruner, SubsumptionPruner
+from repro.core.storage import min_intermediate_storage
+from repro.costmodel.base import PlanCoster
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Knobs for the GB-MQO search.
+
+    Args:
+        merge_types: SubPlanMerge shapes to consider (Figure 4).
+        binary_tree_only: restrict to type (b) merges (Section 4.2's
+            binary-tree search space); overrides ``merge_types``.
+        subsumption_pruning: enable Section 4.3.1 pruning.
+        monotonicity_pruning: enable Section 4.3.2 pruning.
+        enable_cube / enable_rollup: Section 7.1 operator alternatives.
+        cube_max_columns: cap on CUBE candidate width.
+        max_storage_bytes: Section 4.4.2 constraint on the minimum
+            intermediate storage of any candidate sub-plan (None = off).
+        epsilon: improvements smaller than this are treated as zero.
+    """
+
+    merge_types: tuple[str, ...] = ("a", "b", "c", "d")
+    binary_tree_only: bool = False
+    subsumption_pruning: bool = False
+    monotonicity_pruning: bool = False
+    enable_cube: bool = False
+    enable_rollup: bool = False
+    cube_max_columns: int = 5
+    max_storage_bytes: float | None = None
+    epsilon: float = 1e-9
+
+    def merge_options(self) -> MergeOptions:
+        types = ("b",) if self.binary_tree_only else self.merge_types
+        return MergeOptions(
+            merge_types=types,
+            enable_cube=self.enable_cube,
+            enable_rollup=self.enable_rollup,
+            cube_max_columns=self.cube_max_columns,
+        )
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one GB-MQO run."""
+
+    plan: LogicalPlan
+    cost: float
+    naive_cost: float
+    iterations: int
+    merges_evaluated: int
+    pairs_pruned_subsumption: int
+    pairs_pruned_monotonicity: int
+    optimizer_calls: int
+    optimization_seconds: float
+    merge_log: list[str] = field(default_factory=list)
+
+    @property
+    def estimated_speedup(self) -> float:
+        """Naive cost over plan cost, under the cost model."""
+        if self.cost <= 0:
+            return float("inf")
+        return self.naive_cost / self.cost
+
+
+class GbMqoOptimizer:
+    """Figure 5's algorithm with memoized pair merges and pruning.
+
+    Args:
+        coster: a :class:`PlanCoster` wrapping the cost model; its
+            optimizer-call counter is the optimization-cost metric.
+        options: search-space knobs.
+    """
+
+    def __init__(
+        self, coster: PlanCoster, options: OptimizerOptions | None = None
+    ) -> None:
+        self._coster = coster
+        self.options = options or OptimizerOptions()
+
+    @property
+    def coster(self) -> PlanCoster:
+        return self._coster
+
+    def optimize(
+        self, relation: str, required: Iterable[frozenset]
+    ) -> OptimizationResult:
+        """Find a logical plan for the required queries on ``relation``."""
+        started = time.perf_counter()
+        calls_before = self._coster.optimizer_calls
+        plan = naive_plan(relation, required)
+        required_sets = plan.required
+        naive_cost = self._coster.plan_cost(plan)
+        merge_opts = self.options.merge_options()
+
+        codec = BitsetCodec(
+            sorted({column for query in required_sets for column in query})
+        )
+        monotonicity = (
+            MonotonicityPruner() if self.options.monotonicity_pruning else None
+        )
+        subsumption = (
+            SubsumptionPruner() if self.options.subsumption_pruning else None
+        )
+
+        # Forest state: sequence-numbered sub-plans plus their bitmasks.
+        forest: dict[int, SubPlan] = {}
+        masks: dict[int, int] = {}
+        next_id = 0
+        for subplan in plan.subplans:
+            forest[next_id] = subplan
+            masks[next_id] = codec.encode(subplan.node.columns)
+            next_id += 1
+
+        # Memoized best merge per pair of sub-plan ids.
+        pair_best: dict[frozenset, tuple[float, SubPlan | None]] = {}
+        merges_evaluated = 0
+        pruned_subsumption = 0
+        pruned_monotonicity = 0
+        iterations = 0
+        merge_log: list[str] = []
+
+        def evaluate_pair(id1: int, id2: int) -> tuple[float, SubPlan | None]:
+            nonlocal merges_evaluated
+            key = frozenset((id1, id2))
+            if key in pair_best:
+                return pair_best[key]
+            merges_evaluated += 1
+            p1, p2 = forest[id1], forest[id2]
+            best_delta, best_candidate = 0.0, None
+            for candidate in subplan_merge(p1, p2, required_sets, merge_opts):
+                if not self._storage_admissible(candidate):
+                    continue
+                delta = (
+                    self._coster.subplan_cost(candidate)
+                    - self._coster.subplan_cost(p1)
+                    - self._coster.subplan_cost(p2)
+                )
+                if delta < best_delta:
+                    best_delta, best_candidate = delta, candidate
+            pair_best[key] = (best_delta, best_candidate)
+            return pair_best[key]
+
+        while True:
+            iterations += 1
+            ids = sorted(forest)
+            pairs = [
+                (ids[i], ids[j])
+                for i in range(len(ids))
+                for j in range(i + 1, len(ids))
+            ]
+            if subsumption is not None and pairs:
+                unions = [masks[a] | masks[b] for a, b in pairs]
+                allowed = subsumption.allowed_unions(unions)
+                surviving = []
+                for (a, b), union in zip(pairs, unions):
+                    if union in allowed:
+                        surviving.append((a, b))
+                    else:
+                        pruned_subsumption += 1
+                pairs = surviving
+            best = (0.0, None, None, None)
+            for id1, id2 in pairs:
+                union_mask = masks[id1] | masks[id2]
+                if monotonicity is not None and monotonicity.is_pruned(
+                    union_mask
+                ):
+                    pruned_monotonicity += 1
+                    continue
+                delta, candidate = evaluate_pair(id1, id2)
+                if candidate is None or delta >= -self.options.epsilon:
+                    mergeable = all(
+                        forest[i].node.kind.name == "GROUP_BY"
+                        for i in (id1, id2)
+                    )
+                    if monotonicity is not None and mergeable:
+                        monotonicity.record_failure(union_mask)
+                    continue
+                if delta < best[0]:
+                    best = (delta, candidate, id1, id2)
+            delta, candidate, id1, id2 = best
+            if candidate is None:
+                break
+            merge_log.append(
+                f"merged {forest[id1].node.describe()} + "
+                f"{forest[id2].node.describe()} -> "
+                f"{candidate.node.describe()} (delta {delta:.1f})"
+            )
+            for stale in (id1, id2):
+                del forest[stale]
+                del masks[stale]
+            stale_keys = [
+                key for key in pair_best if id1 in key or id2 in key
+            ]
+            for key in stale_keys:
+                del pair_best[key]
+            forest[next_id] = candidate
+            masks[next_id] = codec.encode(candidate.node.columns)
+            next_id += 1
+
+        final = LogicalPlan(
+            relation,
+            tuple(forest[i] for i in sorted(forest)),
+            required_sets,
+        )
+        final.validate()
+        return OptimizationResult(
+            plan=final,
+            cost=self._coster.plan_cost(final),
+            naive_cost=naive_cost,
+            iterations=iterations,
+            merges_evaluated=merges_evaluated,
+            pairs_pruned_subsumption=pruned_subsumption,
+            pairs_pruned_monotonicity=pruned_monotonicity,
+            optimizer_calls=self._coster.optimizer_calls - calls_before,
+            optimization_seconds=time.perf_counter() - started,
+            merge_log=merge_log,
+        )
+
+    def _storage_admissible(self, candidate: SubPlan) -> bool:
+        limit = self.options.max_storage_bytes
+        if limit is None:
+            return True
+        model = self._coster.model
+        estimator = getattr(model, "estimator", None)
+        if estimator is None:
+            return True
+
+        def size_of(subplan: SubPlan) -> float:
+            if not subplan.is_materialized:
+                return 0.0
+            rows = estimator.rows(subplan.node.columns)
+            return rows * estimator.row_width(subplan.node.columns)
+
+        return min_intermediate_storage(candidate, size_of) <= limit

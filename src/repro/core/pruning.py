@@ -1,0 +1,88 @@
+"""Pruning techniques for the GB-MQO search (Section 4.3).
+
+Both are proven sound by the paper under the Cardinality cost model with
+type-(b) merges over non-overlapping inputs, and used as heuristics
+otherwise:
+
+* **Subsumption-based pruning** (Section 4.3.1): do not merge sub-plans
+  rooted at v_i, v_j when some other pair v_x, v_y satisfies
+  (v_i ∪ v_j) ⊃ (v_x ∪ v_y) — it is never worse to merge the pair with
+  the smaller union first.
+* **Monotonicity-based pruning** (Section 4.3.2, Apriori-style): once
+  merging v_i, v_j fails to reduce cost, never consider any pair whose
+  union is a superset of v_i ∪ v_j.
+
+Column sets are handled as integer bitmasks for speed; the optimizer
+encodes them once per run via :class:`repro.core.columnset.BitsetCodec`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class MonotonicityPruner:
+    """Tracks failed merge unions and prunes their supersets."""
+
+    def __init__(self) -> None:
+        self._failed: list[int] = []
+        self.pairs_pruned = 0
+
+    def record_failure(self, union_mask: int) -> None:
+        """Remember that merging to ``union_mask`` did not pay off."""
+        # Keep the failed set an antichain: drop supersets of the new
+        # mask, skip insertion if a subset is already present.
+        for mask in self._failed:
+            if mask & union_mask == mask:
+                return
+        self._failed = [
+            mask for mask in self._failed if union_mask & mask != union_mask
+        ]
+        self._failed.append(union_mask)
+
+    def is_pruned(self, union_mask: int) -> bool:
+        for mask in self._failed:
+            if mask & union_mask == mask:
+                self.pairs_pruned += 1
+                return True
+        return False
+
+    @property
+    def failed_unions(self) -> tuple[int, ...]:
+        return tuple(self._failed)
+
+
+def minimal_masks(masks: Iterable[int]) -> list[int]:
+    """The inclusion-minimal antichain of a collection of bitmasks."""
+    ordered = sorted(set(masks), key=lambda m: (bin(m).count("1"), m))
+    minimal: list[int] = []
+    for mask in ordered:
+        if not any(kept & mask == kept for kept in minimal):
+            minimal.append(mask)
+    return minimal
+
+
+class SubsumptionPruner:
+    """Per-iteration filter keeping only pairs with minimal unions.
+
+    Given all candidate pair unions of the current iteration, a pair is
+    pruned when another pair's union is a *strict* subset of its union.
+    """
+
+    def __init__(self) -> None:
+        self.pairs_pruned = 0
+
+    def allowed_unions(self, unions: Sequence[int]) -> set[int]:
+        """Return the set of union masks that survive pruning."""
+        minimal = minimal_masks(unions)
+        minimal_set = set(minimal)
+        allowed = set()
+        for union in set(unions):
+            if union in minimal_set:
+                allowed.add(union)
+                continue
+            if any(m != union and m & union == m for m in minimal):
+                self.pairs_pruned += 1
+            else:
+                allowed.add(union)
+        return allowed

@@ -1,0 +1,89 @@
+"""Plan (de)serialization: logical plans as plain dicts / JSON.
+
+A production system caches optimized plans; this module round-trips
+:class:`~repro.core.plan.LogicalPlan` through JSON-compatible dicts so
+plans can be stored, diffed, or shipped to the client-side executor of
+Section 5.2 in another process.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.plan import LogicalPlan, NodeKind, PlanError, PlanNode, SubPlan
+
+#: Bumped on any incompatible change to the wire shape.
+FORMAT_VERSION = 1
+
+
+def subplan_to_dict(subplan: SubPlan) -> dict:
+    payload = {
+        "columns": sorted(subplan.node.columns),
+        "kind": subplan.node.kind.value,
+        "required": subplan.required,
+        "children": [subplan_to_dict(child) for child in subplan.children],
+    }
+    if subplan.node.kind is NodeKind.ROLLUP:
+        payload["rollup_order"] = list(subplan.node.rollup_order)
+    if subplan.direct_answers:
+        payload["direct_answers"] = sorted(
+            sorted(q) for q in subplan.direct_answers
+        )
+    return payload
+
+
+def plan_to_dict(plan: LogicalPlan) -> dict:
+    """Serialize a plan to a JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "relation": plan.relation,
+        "required": sorted(sorted(q) for q in plan.required),
+        "subplans": [subplan_to_dict(s) for s in plan.subplans],
+    }
+
+
+def subplan_from_dict(payload: dict) -> SubPlan:
+    kind = NodeKind(payload.get("kind", "group_by"))
+    node = PlanNode(
+        frozenset(payload["columns"]),
+        kind,
+        tuple(payload.get("rollup_order", ())),
+    )
+    children = tuple(
+        subplan_from_dict(child) for child in payload.get("children", ())
+    )
+    direct = frozenset(
+        frozenset(q) for q in payload.get("direct_answers", ())
+    )
+    return SubPlan(node, children, payload.get("required", False), direct)
+
+
+def plan_from_dict(payload: dict) -> LogicalPlan:
+    """Rebuild a plan from :func:`plan_to_dict` output.
+
+    Raises:
+        PlanError: on version mismatch or an invalid plan structure.
+    """
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise PlanError(
+            f"unsupported plan format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    plan = LogicalPlan(
+        payload["relation"],
+        tuple(subplan_from_dict(s) for s in payload.get("subplans", ())),
+        frozenset(frozenset(q) for q in payload.get("required", ())),
+    )
+    plan.validate()
+    return plan
+
+
+def plan_to_json(plan: LogicalPlan, indent: int | None = None) -> str:
+    """Serialize a plan to a JSON string."""
+    return json.dumps(plan_to_dict(plan), indent=indent, sort_keys=True)
+
+
+def plan_from_json(text: str) -> LogicalPlan:
+    """Parse a plan from :func:`plan_to_json` output."""
+    return plan_from_dict(json.loads(text))

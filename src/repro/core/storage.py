@@ -1,0 +1,100 @@
+"""Intermediate-storage analysis of a logical plan (Section 4.4).
+
+Every intermediate node of a plan is materialized to a temporary table
+and dropped once all of its children have been computed.  The traversal
+order determines the peak storage those temporaries occupy.  The paper's
+recursion (Section 4.4.1):
+
+    Storage(u) = min( d(u) + sum_i d(v_i),          # breadth-first at u
+                      d(u) + max_i Storage(v_i) )   # depth-first at u
+
+where d(u) is the materialized size of u (0 for streamed leaves).  Each
+node is marked BF or DF according to which term is smaller; executing
+the plan obeying the marking minimizes the peak.
+
+Note on exactness: the recursion is the paper's.  The DF term is exact.
+The BF term is exact when the children's own subtrees are flat; when a
+BF-marked node has materialized grandchildren, the still-live sibling
+temps during the descent can push the true peak above the formula, so
+the recursion is a lower bound in general (tests verify exactly this
+relationship).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.plan import LogicalPlan, SubPlan
+
+SizeFn = Callable[[SubPlan], float]
+
+
+@dataclass(frozen=True)
+class StorageMark:
+    """The storage-minimizing traversal decision for one node."""
+
+    subplan: SubPlan
+    strategy: str  # 'BF' or 'DF' ('--' for leaves)
+    storage: float
+    children: tuple["StorageMark", ...]
+
+    def render(self, size_fn: SizeFn | None = None, indent: str = "") -> str:
+        label = f"{indent}{self.subplan.node.describe()} "
+        label += f"[{self.strategy}] storage={self.storage:.0f}"
+        lines = [label]
+        for child in self.children:
+            lines.append(child.render(size_fn, indent + "  "))
+        return "\n".join(lines)
+
+
+def mark_storage(subplan: SubPlan, size_fn: SizeFn) -> StorageMark:
+    """Compute Storage(u) bottom-up and mark each node BF or DF.
+
+    Args:
+        subplan: subtree to analyze.
+        size_fn: d(u) — the materialized size of a node (must return 0
+            for nodes that are not materialized).
+
+    Returns:
+        A mirror tree annotated with strategy and minimum storage.
+    """
+    children = tuple(mark_storage(child, size_fn) for child in subplan.children)
+    own = size_fn(subplan)
+    if not children:
+        return StorageMark(subplan, "--", own, ())
+    breadth_first = own + sum(size_fn(child.subplan) for child in children)
+    depth_first = own + max(child.storage for child in children)
+    if breadth_first <= depth_first:
+        return StorageMark(subplan, "BF", breadth_first, children)
+    return StorageMark(subplan, "DF", depth_first, children)
+
+
+def min_intermediate_storage(subplan: SubPlan, size_fn: SizeFn) -> float:
+    """Storage(u) for the subtree — the minimum peak temp storage."""
+    return mark_storage(subplan, size_fn).storage
+
+
+def plan_min_storage(plan: LogicalPlan, size_fn: SizeFn) -> float:
+    """Minimum peak storage of the whole plan.
+
+    Sub-plans are independent and executed one after another, so the
+    plan's peak is the maximum over its sub-plans.
+    """
+    if not plan.subplans:
+        return 0.0
+    return max(
+        min_intermediate_storage(subplan, size_fn) for subplan in plan.subplans
+    )
+
+
+def estimator_size_fn(estimator) -> SizeFn:
+    """d(u) from a cardinality estimator: rows x row width, 0 for leaves."""
+
+    def size_of(subplan: SubPlan) -> float:
+        if not subplan.is_materialized:
+            return 0.0
+        rows = estimator.rows(subplan.node.columns)
+        return rows * estimator.row_width(subplan.node.columns)
+
+    return size_of

@@ -1,0 +1,70 @@
+"""Plan visualization: logical plans as networkx graphs and DOT text.
+
+Useful for inspecting what the optimizer chose (the paper's Figures 1-2
+are exactly these drawings): the base relation at the root, spooled
+intermediates as boxes, required queries marked.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.plan import LogicalPlan, SubPlan
+
+
+def plan_to_graph(plan: LogicalPlan) -> nx.DiGraph:
+    """Build a directed graph of the plan (edges parent -> child).
+
+    Node attributes: ``label`` (the paper's (A,B) notation), ``required``
+    and ``materialized`` flags, ``kind`` (group_by / cube / rollup).
+    The base relation is the node named after the relation.
+    """
+    graph = nx.DiGraph()
+    graph.add_node(plan.relation, label=plan.relation, kind="relation",
+                   required=False, materialized=True)
+
+    def add(subplan: SubPlan, parent: str) -> None:
+        node_id = subplan.node.describe()
+        graph.add_node(
+            node_id,
+            label=node_id,
+            kind=subplan.node.kind.value,
+            required=bool(subplan.required or subplan.direct_answers),
+            materialized=subplan.is_materialized,
+        )
+        graph.add_edge(parent, node_id)
+        for child in subplan.children:
+            add(child, node_id)
+
+    for subplan in plan.subplans:
+        add(subplan, plan.relation)
+    return graph
+
+
+def plan_to_dot(plan: LogicalPlan) -> str:
+    """Render the plan as Graphviz DOT text.
+
+    Spooled intermediates are boxes, streamed leaves are ellipses,
+    required nodes are drawn bold.
+    """
+    graph = plan_to_graph(plan)
+    lines = ["digraph gbmqo {", "  rankdir=TB;"]
+    for node, attrs in graph.nodes(data=True):
+        shape = "box" if attrs.get("materialized") else "ellipse"
+        if attrs.get("kind") == "relation":
+            shape = "cylinder"
+        style = "bold" if attrs.get("required") else "solid"
+        label = attrs.get("label", node).replace('"', "'")
+        lines.append(
+            f'  "{node}" [label="{label}", shape={shape}, style={style}];'
+        )
+    for source, target in graph.edges:
+        lines.append(f'  "{source}" -> "{target}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_depth(plan: LogicalPlan) -> int:
+    """Longest chain of materialized intermediates (tree depth)."""
+    graph = plan_to_graph(plan)
+    return int(nx.dag_longest_path_length(graph))

@@ -1,0 +1,88 @@
+"""Cost model protocol and the caching PlanCoster.
+
+The optimizer never costs plans directly: it goes through a
+:class:`PlanCoster`, which (a) memoizes edge costs so a repeated
+(parent, child) query is never "sent to the optimizer" twice, and
+(b) counts distinct costing calls — the optimization-cost metric the
+paper reports in Figures 10(a) and 11(a).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+
+
+class CostModel(Protocol):
+    """Cost of computing one Group By (or CUBE/ROLLUP) query.
+
+    ``parent`` is None when the child is computed from the base relation
+    R; otherwise it is the intermediate node being scanned.
+    ``materialize_child`` charges for spooling the child's result to a
+    temporary table (needed when the child has children of its own).
+    """
+
+    def edge_cost(
+        self,
+        parent: PlanNode | None,
+        child: PlanNode,
+        materialize_child: bool,
+    ) -> float:
+        ...
+
+
+class PlanCoster:
+    """Caches edge and sub-plan costs over an underlying cost model.
+
+    Args:
+        model: the cost model to delegate uncached edge costs to.
+    """
+
+    def __init__(self, model: CostModel) -> None:
+        self._model = model
+        self._edge_cache: dict[tuple, float] = {}
+        self._subplan_cache: dict[SubPlan, float] = {}
+        #: Number of distinct costing requests sent to the model — the
+        #: paper's "number of calls to the query optimizer".
+        self.optimizer_calls = 0
+
+    @property
+    def model(self) -> CostModel:
+        return self._model
+
+    def edge_cost(
+        self,
+        parent: PlanNode | None,
+        child: PlanNode,
+        materialize_child: bool,
+    ) -> float:
+        """Cost of computing ``child`` by scanning ``parent``."""
+        key = (parent, child, materialize_child)
+        if key not in self._edge_cache:
+            self.optimizer_calls += 1
+            self._edge_cache[key] = self._model.edge_cost(
+                parent, child, materialize_child
+            )
+        return self._edge_cache[key]
+
+    def subplan_cost(self, subplan: SubPlan) -> float:
+        """Total cost of a sub-plan, including its edge from R."""
+        if subplan not in self._subplan_cache:
+            cost = self.edge_cost(None, subplan.node, subplan.is_materialized)
+            cost += self._internal_cost(subplan)
+            self._subplan_cache[subplan] = cost
+        return self._subplan_cache[subplan]
+
+    def _internal_cost(self, subplan: SubPlan) -> float:
+        total = 0.0
+        for child in subplan.children:
+            total += self.edge_cost(
+                subplan.node, child.node, child.is_materialized
+            )
+            total += self._internal_cost(child)
+        return total
+
+    def plan_cost(self, plan: LogicalPlan) -> float:
+        """Total cost of a logical plan (sum over its sub-plans)."""
+        return sum(self.subplan_cost(subplan) for subplan in plan.subplans)

@@ -1,0 +1,59 @@
+"""The Cardinality cost model (Section 3.2.1).
+
+The cost of an edge u -> v is |u|, the (estimated) number of rows of the
+table being scanned.  Materialization is free.  This is the model under
+which the paper proves both the NP-completeness result (Section 3.4 /
+Appendix A) and the soundness of the two pruning techniques (Section
+4.3), so the reproduction keeps it exactly as defined.
+
+CUBE and ROLLUP nodes (Section 7.1) are costed to match the executor's
+strategy: the full Group By is computed from the parent, then each
+remaining grouping is computed from that materialized result.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import NodeKind, PlanNode
+from repro.stats.cardinality import CardinalityEstimator
+
+
+class CardinalityCostModel:
+    """Cost(u -> v) = |u| (estimated rows of the scanned table).
+
+    Args:
+        estimator: source of group-count estimates for column sets.
+    """
+
+    def __init__(self, estimator: CardinalityEstimator) -> None:
+        self._estimator = estimator
+
+    @property
+    def estimator(self) -> CardinalityEstimator:
+        return self._estimator
+
+    def parent_rows(self, parent: PlanNode | None) -> float:
+        if parent is None:
+            return float(self._estimator.base_rows)
+        return self._estimator.rows(parent.columns)
+
+    def edge_cost(
+        self,
+        parent: PlanNode | None,
+        child: PlanNode,
+        materialize_child: bool,
+    ) -> float:
+        scan = self.parent_rows(parent)
+        if child.kind is NodeKind.GROUP_BY:
+            return scan
+        top_rows = self._estimator.rows(child.columns)
+        if child.kind is NodeKind.CUBE:
+            # Scan the parent once for GROUP BY(all columns); every other
+            # grouping of the 2^k lattice is computed from that result.
+            remaining = 2 ** len(child.columns) - 2
+            return scan + remaining * top_rows
+        # ROLLUP: each prefix computed from the next longer prefix.
+        order = child.rollup_order
+        cost = scan
+        for i in range(len(order), 1, -1):
+            cost += self._estimator.rows(frozenset(order[:i]))
+        return cost

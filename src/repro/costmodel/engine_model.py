@@ -1,0 +1,205 @@
+"""The query-optimizer cost model (Section 3.2.2).
+
+Stands in for the commercial optimizer the paper calls into: it costs a
+Group By over a real *or hypothetical* table from byte-level scan work,
+per-row CPU for grouping, and the cost of materializing the result.  It
+captures the effects of the current physical design — a covering index
+makes a Group By cheap, both because the engine actually scans the
+narrower sorted projection and because ordered aggregation skips hashing
+— which is what drives the plan adaptation in Section 6.9 / Figure 14.
+
+Cost constants are calibrated to the engine's physical operators, not to
+wall-clock seconds; only relative costs matter for plan choice.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import NodeKind, PlanNode
+from repro.engine.catalog import Catalog
+from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.whatif import WhatIfRegistry
+
+#: Cost per byte read from a stored table.
+READ_BYTE = 1.0
+#: Cost per byte written when materializing a temporary table.
+WRITE_BYTE = 2.0
+#: CPU cost per row per key column for hash grouping over a
+#: dictionary-encoded stored table (calibrated to the engine's
+#: bincount aggregation: a few ns/row ~ tens of byte-equivalents).
+HASH_CPU = 24.0
+#: CPU cost per row per key column for ordered (index) aggregation.
+SORTED_CPU = 3.0
+#: Extra CPU per row when the composite key domain is too large for the
+#: cheap hash regime and the engine sorts the composite codes instead
+#: (calibrated to np.sort on int64: ~35 ns/row).
+SORT_GROUP_CPU = 300.0
+#: The engine's hash-regime domain limit (mirrors
+#: repro.engine.aggregation.BINCOUNT_LIMIT).
+HASH_DOMAIN_LIMIT = float(1 << 22)
+#: CPU cost per row per key column for dictionary-encoding a freshly
+#: materialized temporary table (calibrated to the engine's integer
+#: re-rank: ~35 ns/row).  Together with the write cost this is what
+#: makes materializing a near-table-sized intermediate unattractive.
+ENCODE_CPU = 300.0
+
+
+class EngineCostModel:
+    """Byte + CPU + materialization cost model over the engine.
+
+    Args:
+        estimator: cardinality source (exact or sampled).
+        catalog: catalog holding the base table's indexes; None disables
+            index awareness.
+        base_table: name of the base relation R in the catalog.
+        whatif: registry where hypothetical intermediate tables are
+            declared as they are first costed (mirrors the what-if API).
+    """
+
+    def __init__(
+        self,
+        estimator: CardinalityEstimator,
+        catalog: Catalog | None = None,
+        base_table: str | None = None,
+        whatif: WhatIfRegistry | None = None,
+        base_row_width: float | None = None,
+        use_indexes: bool = True,
+    ) -> None:
+        self._estimator = estimator
+        self._catalog = catalog
+        self._base_table = base_table
+        self._use_indexes = use_indexes
+        if base_row_width is not None:
+            self._base_row_width = float(base_row_width)
+        elif catalog is not None and base_table is not None:
+            self._base_row_width = float(catalog.get(base_table).row_width())
+        else:
+            # No physical information: assume a plausible wide row.
+            self._base_row_width = 128.0
+        self.whatif = whatif if whatif is not None else WhatIfRegistry()
+
+    @property
+    def estimator(self) -> CardinalityEstimator:
+        return self._estimator
+
+    # -- scan model -----------------------------------------------------------
+
+    def _group_cpu(self, columns: frozenset) -> float:
+        """Per-row CPU to group on ``columns``.
+
+        Mirrors the engine's two aggregation regimes: when the product
+        of the per-column cardinalities fits the hash domain, grouping
+        is a cheap counting pass; beyond it the engine sorts composite
+        codes, a much heavier per-row cost.
+        """
+        cpu = len(columns) * HASH_CPU
+        domain = 1.0
+        for column in columns:
+            domain *= max(self._estimator.rows(frozenset([column])), 1.0)
+            if domain > HASH_DOMAIN_LIMIT:
+                return cpu + SORT_GROUP_CPU
+        return cpu
+
+    def _base_scan_cost(self, columns: frozenset) -> float:
+        """Cheapest way to read R and group it on ``columns``.
+
+        A direct scan reads *full rows* (row-store semantics); a
+        covering non-clustered index reads only its narrow projection.
+        """
+        base_rows = float(self._estimator.base_rows)
+        group_cpu = self._group_cpu(columns)
+        direct = base_rows * (
+            self._base_row_width * READ_BYTE + group_cpu
+        )
+        if (
+            not self._use_indexes
+            or self._catalog is None
+            or self._base_table is None
+        ):
+            return direct
+        index = self._catalog.find_covering_index(self._base_table, columns)
+        if index is None:
+            return direct
+        base = self._catalog.get(self._base_table)
+        cpu = (
+            len(columns) * SORTED_CPU
+            if index.is_prefix(columns)
+            else group_cpu
+        )
+        via_index = base_rows * (
+            index.scan_width(columns, base) * READ_BYTE + cpu
+        )
+        return min(direct, via_index)
+
+    def _intermediate_scan_cost(
+        self, parent: PlanNode, child_columns: frozenset
+    ) -> float:
+        rows = self._estimator.rows(parent.columns)
+        width = self._estimator.row_width(parent.columns)
+        return rows * (width * READ_BYTE + self._group_cpu(child_columns))
+
+    def _materialize_cost(self, columns: frozenset) -> float:
+        rows = self._estimator.rows(columns)
+        width = self._estimator.row_width(columns)
+        self.whatif.create(columns, rows, width)
+        # Writing the rows plus dictionary-encoding the key columns so
+        # children can aggregate cheaply (the executor does both).
+        encode = rows * len(columns) * ENCODE_CPU
+        return rows * width * WRITE_BYTE + encode
+
+    # -- public API -------------------------------------------------------------
+
+    def group_by_cost(
+        self, parent: PlanNode | None, columns: frozenset, materialize: bool
+    ) -> float:
+        """Cost of one plain Group By on ``columns`` from ``parent``."""
+        if parent is None:
+            cost = self._base_scan_cost(columns)
+        else:
+            cost = self._intermediate_scan_cost(parent, columns)
+        if materialize:
+            cost += self._materialize_cost(columns)
+        return cost
+
+    def edge_cost(
+        self,
+        parent: PlanNode | None,
+        child: PlanNode,
+        materialize_child: bool,
+    ) -> float:
+        if child.kind is NodeKind.GROUP_BY:
+            return self.group_by_cost(parent, child.columns, materialize_child)
+        if child.kind is NodeKind.CUBE:
+            return self._cube_cost(parent, child)
+        return self._rollup_cost(parent, child)
+
+    def _cube_cost(self, parent: PlanNode | None, child: PlanNode) -> float:
+        # Full Group By materialized from the parent, then every other
+        # grouping of the lattice computed from it (executor strategy).
+        top = PlanNode(child.columns)
+        cost = self.group_by_cost(parent, child.columns, True)
+        subsets = _proper_subsets(child.columns)
+        for subset in subsets:
+            cost += self.group_by_cost(top, subset, False)
+        return cost
+
+    def _rollup_cost(self, parent: PlanNode | None, child: PlanNode) -> float:
+        order = child.rollup_order
+        cost = self.group_by_cost(
+            parent, child.columns, materialize=len(order) > 1
+        )
+        for i in range(len(order) - 1, 0, -1):
+            upper = PlanNode(frozenset(order[: i + 1]))
+            cost += self.group_by_cost(upper, frozenset(order[:i]), False)
+        return cost
+
+
+def _proper_subsets(columns: frozenset) -> list[frozenset]:
+    """Non-empty proper subsets of a column set (small sets only)."""
+    ordered = sorted(columns)
+    n = len(ordered)
+    subsets = []
+    for mask in range(1, (1 << n) - 1):
+        subsets.append(
+            frozenset(ordered[i] for i in range(n) if mask & (1 << i))
+        )
+    return subsets

@@ -1,0 +1,424 @@
+"""Group-by aggregation: the workhorse physical operator of the engine.
+
+Two execution strategies are provided, mirroring the hash- and sort-based
+aggregation operators of a real system:
+
+* :func:`group_by` — hash-style: factorize the key columns into dense
+  integer codes, combine them into a single key, and aggregate with
+  vectorized numpy reductions.
+* the ``assume_sorted`` fast path — used when the input is already sorted
+  on the grouping key (index scans, PipeSort pipelines): groups are found
+  by boundary detection, no hashing or sorting at all.
+
+COUNT(*), COUNT(col), SUM, MIN, MAX and AVG are supported.  Re-aggregation
+(SUM over a previously computed ``cnt`` column) is what lets a Group By be
+computed from a materialized ancestor instead of the base relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.table import Table
+from repro.engine.types import SchemaError, null_mask
+
+#: Aggregate functions understood by the engine.
+SUPPORTED_FUNCS = ("count", "count_col", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in the SELECT list of a Group By query.
+
+    Args:
+        func: one of :data:`SUPPORTED_FUNCS`.  ``'count'`` is COUNT(*),
+            ``'count_col'`` is COUNT(col) (non-NULL values only).
+        column: input column, or None for COUNT(*).
+        alias: output column name.
+    """
+
+    func: str
+    column: str | None
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.func not in SUPPORTED_FUNCS:
+            raise SchemaError(f"unsupported aggregate function {self.func!r}")
+        if self.func != "count" and self.column is None:
+            raise SchemaError(f"aggregate {self.func!r} requires a column")
+
+    @classmethod
+    def count_star(cls, alias: str = "cnt") -> "AggregateSpec":
+        return cls("count", None, alias)
+
+    @classmethod
+    def sum_of(cls, column: str, alias: str | None = None) -> "AggregateSpec":
+        return cls("sum", column, alias or f"sum_{column}")
+
+    def describe(self) -> str:
+        """SQL-ish rendering, e.g. ``COUNT(*) AS cnt``."""
+        func_sql = {
+            "count": "COUNT(*)",
+            "count_col": f"COUNT({self.column})",
+            "sum": f"SUM({self.column})",
+            "min": f"MIN({self.column})",
+            "max": f"MAX({self.column})",
+            "avg": f"AVG({self.column})",
+        }[self.func]
+        return f"{func_sql} AS {self.alias}"
+
+
+def factorize(array: np.ndarray) -> tuple[np.ndarray, int]:
+    """Map values to dense codes in ``[0, n_distinct)``.
+
+    Returns:
+        (codes, n_distinct).  Codes follow the sorted order of distinct
+        values, so equal inputs always factorize identically.
+    """
+    uniques, inverse = np.unique(array, return_inverse=True)
+    return inverse.astype(np.int64, copy=False), len(uniques)
+
+
+#: Largest composite-code domain the bincount fast path allocates for.
+BINCOUNT_LIMIT = 1 << 22
+
+
+class GroupStructure:
+    """Row-to-group assignment over a composite key.
+
+    Exactly one of two representations backs it: representative row
+    indices (``first``) from which key values are gathered, or decoded
+    composite codes from which key values are reconstructed via the
+    table's dictionaries.  ``counts`` is precomputed when the grouping
+    pass produced it for free; ``ids`` (per-row dense group numbers)
+    materializes lazily — only SUM/MIN/MAX need it.
+    """
+
+    def __init__(
+        self,
+        n_groups: int,
+        counts: np.ndarray | None,
+        ids_factory,
+        first: np.ndarray | None = None,
+        key_decoder=None,
+    ) -> None:
+        self.n_groups = n_groups
+        self.counts = counts
+        self._ids_factory = ids_factory
+        self.first = first
+        self._key_decoder = key_decoder
+        self._ids: np.ndarray | None = None
+
+    @property
+    def ids(self) -> np.ndarray:
+        if self._ids is None:
+            self._ids = self._ids_factory()
+        return self._ids
+
+    def key_column(self, table: Table, key: str) -> np.ndarray:
+        """Per-group values of one key column."""
+        if self.first is not None:
+            return table[key][self.first]
+        assert self._key_decoder is not None
+        return self._key_decoder(key)
+
+    def key_dictionary(
+        self, table: Table, key: str
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Dictionary (codes, values) for the *result's* key column.
+
+        Available on the decode paths, where per-group parent codes are
+        known: a cheap integer re-rank replaces the raw-value np.unique
+        a fresh table would otherwise need.  None when unavailable.
+        """
+        if self._key_decoder is None or not hasattr(
+            self, "_group_parent_codes"
+        ):
+            return None
+        parent_codes = self._group_parent_codes(key)
+        uniq_codes, inverse = np.unique(parent_codes, return_inverse=True)
+        _, parent_uniques = table.dictionary(key)
+        return (
+            inverse.astype(np.int64, copy=False),
+            parent_uniques[uniq_codes],
+        )
+
+
+def _combined_codes(
+    table: Table, keys: Sequence[str]
+) -> tuple[np.ndarray, int, dict[str, tuple[int, int]] | None]:
+    """Combine per-column dictionary codes into one int64 composite key.
+
+    Returns (combined, radix, layout) where ``layout[key]`` is the
+    (stride, cardinality) of that key inside the composite code.  When
+    the composite domain would overflow int64 the running key is
+    compressed (factorized) and combining continues — equal key tuples
+    still share one code, but per-key decoding is lost, so ``layout``
+    is None.
+    """
+    combined = np.zeros(table.num_rows, dtype=np.int64)
+    radix = 1
+    cards: list[int] = []
+    compressed = False
+    for key in keys:
+        codes, uniques = table.dictionary(key)
+        card = max(len(uniques), 1)
+        if radix > (2**62) // card:
+            # Compress the running composite key and keep combining.
+            uniq, inverse = np.unique(combined, return_inverse=True)
+            combined = inverse.astype(np.int64, copy=False)
+            radix = max(len(uniq), 1)
+            compressed = True
+            if radix > (2**62) // card:  # pragma: no cover - n > 2^62
+                raise SchemaError("composite key domain exceeds int64")
+        combined = combined * card + codes
+        radix *= card
+        cards.append(card)
+    if compressed:
+        return combined, radix, None
+    layout: dict[str, tuple[int, int]] = {}
+    stride = 1
+    for key, card in zip(reversed(list(keys)), reversed(cards)):
+        layout[key] = (stride, card)
+        stride *= card
+    return combined, radix, layout
+
+
+def combined_group_codes(
+    table: Table, keys: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Assign each row a group id over the composite key ``keys``.
+
+    Returns:
+        (group_ids, first_row_index_per_group, n_groups).  Provided for
+        callers that need explicit ids (e.g. tests); ``group_by`` itself
+        uses the cheaper :class:`GroupStructure` representations.
+    """
+    if not keys:
+        n = table.num_rows
+        ids = np.zeros(n, dtype=np.int64)
+        first = np.zeros(1 if n else 0, dtype=np.int64)
+        return ids, first, 1 if n else 0
+    combined, _radix, _ = _combined_codes(table, keys)
+    _, first, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    return inverse.astype(np.int64, copy=False), first, len(first)
+
+
+def _hash_group(table: Table, keys: Sequence[str]) -> GroupStructure:
+    """Grouping over dictionary codes, in two regimes.
+
+    Small composite domains use one ``bincount`` pass (the cheap
+    hash-table regime of a real aggregation operator).  Large domains
+    sort the composite codes and *decode* the group keys from the
+    dictionaries — the sort-aggregation regime — which never gathers
+    representative rows.
+    """
+    n = table.num_rows
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return GroupStructure(0, empty, lambda: empty, first=empty)
+    combined, radix, layout = _combined_codes(table, keys)
+    if layout is None:
+        # Compressed composite key: group via one int64 unique and keep
+        # representative rows (keys cannot be decoded by arithmetic).
+        _, first, inverse = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        ids = inverse.astype(np.int64, copy=False)
+        return GroupStructure(len(first), None, lambda: ids, first=first)
+    if radix <= BINCOUNT_LIMIT:
+        counts_all = np.bincount(combined, minlength=radix)
+        occupied = np.flatnonzero(counts_all)
+        counts = counts_all[occupied]
+        group_codes = occupied
+    else:
+        # Sort regime: one np.sort plus boundary detection.
+        ordered = np.sort(combined)
+        boundary = np.empty(len(ordered), dtype=bool)
+        boundary[0] = True
+        boundary[1:] = ordered[1:] != ordered[:-1]
+        group_codes = ordered[boundary]
+        positions = np.flatnonzero(boundary)
+        counts = np.diff(np.append(positions, len(ordered)))
+
+    def parent_codes_of(key: str) -> np.ndarray:
+        stride, card = layout[key]
+        return (group_codes // stride) % card
+
+    def decode(key: str) -> np.ndarray:
+        _, uniques = table.dictionary(key)
+        return uniques[parent_codes_of(key)]
+
+    structure = GroupStructure(
+        len(group_codes),
+        counts,
+        lambda: np.searchsorted(group_codes, combined),
+        key_decoder=decode,
+    )
+    structure._group_parent_codes = parent_codes_of
+    return structure
+
+
+def sorted_group_boundaries(
+    table: Table, keys: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Group ids for input already sorted on ``keys`` (boundary detection)."""
+    n = table.num_rows
+    if not keys:
+        ids = np.zeros(n, dtype=np.int64)
+        first = np.zeros(1 if n else 0, dtype=np.int64)
+        return ids, first, 1 if n else 0
+    if n == 0:
+        return (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            0,
+        )
+    change = np.zeros(n, dtype=bool)
+    for key in keys:
+        col = table[key]
+        change[1:] |= col[1:] != col[:-1]
+    ids = np.cumsum(change).astype(np.int64)
+    first = np.flatnonzero(np.concatenate(([True], change[1:])))
+    return ids, first, int(ids[-1]) + 1
+
+
+def _apply_aggregate(
+    spec: AggregateSpec,
+    table: Table,
+    group_ids: np.ndarray,
+    n_groups: int,
+) -> np.ndarray:
+    """Compute one aggregate over precomputed group ids."""
+    if spec.func == "count":
+        return np.bincount(group_ids, minlength=n_groups).astype(np.int64)
+    column = table[spec.column]
+    if spec.func == "count_col":
+        valid = (~null_mask(column)).astype(np.int64)
+        return np.bincount(
+            group_ids, weights=valid, minlength=n_groups
+        ).astype(np.int64)
+    if spec.func == "sum":
+        sums = np.bincount(group_ids, weights=column, minlength=n_groups)
+        if np.issubdtype(column.dtype, np.integer):
+            return sums.astype(np.int64)
+        return sums
+    if spec.func == "avg":
+        sums = np.bincount(group_ids, weights=column, minlength=n_groups)
+        counts = np.bincount(group_ids, minlength=n_groups)
+        return sums / np.maximum(counts, 1)
+    # MIN / MAX: reduce over rows ordered by group.
+    if column.dtype.kind == "U":
+        # No unicode min/max ufunc: order rows by (group, value) and
+        # take the boundary element of each group.
+        order = np.lexsort((column, group_ids))
+        starts = np.searchsorted(group_ids[order], np.arange(n_groups))
+        if spec.func == "min":
+            return column[order][starts]
+        ends = np.searchsorted(
+            group_ids[order], np.arange(n_groups), side="right"
+        )
+        return column[order][ends - 1]
+    order = np.argsort(group_ids, kind="stable")
+    starts = np.searchsorted(group_ids[order], np.arange(n_groups))
+    if spec.func == "min":
+        return np.minimum.reduceat(column[order], starts)
+    return np.maximum.reduceat(column[order], starts)
+
+
+def group_by(
+    table: Table,
+    keys: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+    name: str | None = None,
+    metrics: ExecutionMetrics | None = None,
+    assume_sorted: bool = False,
+) -> Table:
+    """Execute ``SELECT keys, aggs FROM table GROUP BY keys``.
+
+    Args:
+        table: input relation.
+        keys: grouping columns (may be empty for a grand total).
+        aggregates: aggregate specs for the output.
+        name: name of the result table.
+        metrics: execution counters to update (scan + group-by).
+        assume_sorted: use the boundary-detection fast path; the caller
+            guarantees the table is sorted on ``keys``.
+
+    Returns:
+        A table with the key columns followed by one column per aggregate.
+    """
+    keys = list(keys)
+    if metrics is not None:
+        # Row-store scan semantics: reading any part of a stored table
+        # reads full rows.  ``touch`` pays the memory traffic for real.
+        metrics.record_scan(table.num_rows, table.touch())
+        metrics.record_group_by()
+    if assume_sorted:
+        group_ids, first, n_groups = sorted_group_boundaries(table, keys)
+        structure = GroupStructure(n_groups, None, lambda: group_ids, first=first)
+    elif not keys:
+        n = table.num_rows
+        zeros = np.zeros(n, dtype=np.int64)
+        first = np.zeros(1 if n else 0, dtype=np.int64)
+        structure = GroupStructure(1 if n else 0, None, lambda: zeros, first=first)
+    else:
+        structure = _hash_group(table, keys)
+    columns: dict[str, np.ndarray] = {}
+    for key in keys:
+        columns[key] = structure.key_column(table, key)
+    for spec in aggregates:
+        if spec.alias in columns:
+            raise SchemaError(f"duplicate output column {spec.alias!r}")
+        if spec.func == "count" and structure.counts is not None:
+            columns[spec.alias] = structure.counts.astype(np.int64)
+        else:
+            columns[spec.alias] = _apply_aggregate(
+                spec, table, structure.ids, structure.n_groups
+            )
+    result_name = name or f"groupby_{'_'.join(keys) or 'all'}"
+    if not columns:
+        raise SchemaError("group_by needs at least one key or aggregate")
+    result = Table.wrap(result_name, columns)
+    # Attach dictionaries for the key columns where the grouping pass
+    # can derive them from code arithmetic — far cheaper than the
+    # raw-value encode a downstream group-by would otherwise trigger.
+    for key in keys:
+        derived = structure.key_dictionary(table, key)
+        if derived is not None:
+            result._dictionaries[key] = derived
+    return result
+
+
+def reaggregate_specs(
+    aggregates: Sequence[AggregateSpec],
+) -> list[AggregateSpec]:
+    """Rewrite aggregates for computation from a materialized ancestor.
+
+    A Group By computed from an intermediate node must combine partial
+    results: COUNT(*) becomes SUM(cnt), SUM stays SUM, MIN stays MIN,
+    MAX stays MAX (the classic distributive-aggregate rewrite the paper
+    relies on in Section 5.2).
+
+    Raises:
+        SchemaError: for non-distributive aggregates (AVG must be split
+            into SUM and COUNT by the caller before planning).
+    """
+    rewritten = []
+    for spec in aggregates:
+        if spec.func in ("count", "count_col"):
+            rewritten.append(AggregateSpec("sum", spec.alias, spec.alias))
+        elif spec.func in ("sum", "min", "max"):
+            rewritten.append(AggregateSpec(spec.func, spec.alias, spec.alias))
+        else:
+            raise SchemaError(
+                f"aggregate {spec.func!r} is not distributive; "
+                "decompose it before planning"
+            )
+    return rewritten

@@ -1,0 +1,267 @@
+"""Executing a GB-MQO logical plan against the engine (Section 5.2).
+
+The client-side strategy of the paper: walk the logical plan, run one
+Group By query per node — ``SELECT v, COUNT(*) INTO T_v FROM T_u GROUP
+BY v`` for intermediate nodes, streaming for leaves — re-aggregating
+with SUM(cnt) whenever the source is a materialized intermediate rather
+than the base relation, and dropping temporary tables per the schedule.
+
+CUBE and ROLLUP nodes (Section 7.1) execute exactly the strategy their
+cost model assumes: the full Group By is computed from the node's
+parent, and every other covered grouping is computed from that result.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.plan import LogicalPlan, NodeKind, PlanNode
+from repro.core.scheduling import Step, depth_first_schedule
+from repro.engine.aggregation import AggregateSpec, group_by, reaggregate_specs
+from repro.engine.catalog import Catalog
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.table import Table
+from repro.engine.types import EngineError
+
+
+class ExecutionError(EngineError):
+    """The executor was given an inconsistent plan or schedule."""
+
+
+def temp_name_for(node: PlanNode) -> str:
+    """Deterministic temporary-table name for a plan node."""
+    return "tmp__" + "__".join(sorted(node.columns))
+
+
+@dataclass
+class ExecutionResult:
+    """Results and accounting for one plan execution.
+
+    Attributes:
+        results: query column set -> result table (keys + ``cnt``).
+        metrics: operator-level counters for the run.
+        peak_temp_bytes: highest temporary storage held at once.
+        wall_seconds: elapsed wall-clock time.
+    """
+
+    results: dict[frozenset, Table] = field(default_factory=dict)
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+    peak_temp_bytes: int = 0
+    wall_seconds: float = 0.0
+
+
+class PlanExecutor:
+    """Runs logical plans for COUNT(*) (or custom aggregate) workloads.
+
+    Args:
+        catalog: catalog holding the base relation (and its indexes).
+        base_table: name of the base relation R.
+        aggregates: aggregate list for every required query; defaults to
+            COUNT(*) AS cnt.  Must be distributive (see
+            :func:`repro.engine.aggregation.reaggregate_specs`).
+        use_indexes: answer base-table Group Bys from a covering index
+            when one exists and is narrower than the referenced columns.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        base_table: str,
+        aggregates: list[AggregateSpec] | None = None,
+        use_indexes: bool = True,
+    ) -> None:
+        self._catalog = catalog
+        self._base_table = base_table
+        self._aggregates = aggregates or [AggregateSpec.count_star("cnt")]
+        self._reaggregates = reaggregate_specs(self._aggregates)
+        self._use_indexes = use_indexes
+
+    def execute(
+        self, plan: LogicalPlan, steps: list[Step] | None = None
+    ) -> ExecutionResult:
+        """Execute ``plan`` following ``steps`` (depth-first when None)."""
+        if plan.relation != self._base_table:
+            raise ExecutionError(
+                f"plan targets {plan.relation!r}, executor is bound to "
+                f"{self._base_table!r}"
+            )
+        if steps is None:
+            steps = depth_first_schedule(plan)
+        result = ExecutionResult()
+        started = time.perf_counter()
+        peak_before = self._catalog.peak_temp_bytes
+        current_before = self._catalog.current_temp_bytes
+        local_peak = current_before
+        try:
+            for step in steps:
+                if step.action == "compute":
+                    self._run_compute(step, result)
+                elif step.action == "drop":
+                    self._catalog.drop_temp(temp_name_for(step.node))
+                else:
+                    raise ExecutionError(f"unknown step action {step.action!r}")
+                local_peak = max(local_peak, self._catalog.current_temp_bytes)
+        finally:
+            # Leave no temporaries behind even on failure.
+            for name in self._catalog.temp_names():
+                if name.startswith("tmp__"):
+                    self._catalog.drop_temp(name)
+        result.wall_seconds = time.perf_counter() - started
+        result.peak_temp_bytes = local_peak - current_before
+        # Keep the catalog's all-time peak meaningful across runs.
+        self._catalog.peak_temp_bytes = max(peak_before, local_peak)
+        return result
+
+    # -- internals ---------------------------------------------------------------
+
+    def _source_table(self, parent: PlanNode | None) -> tuple[Table, bool]:
+        """Resolve a step's source: (table, is_base_relation)."""
+        if parent is None:
+            return self._catalog.get(self._base_table), True
+        name = temp_name_for(parent)
+        if name not in self._catalog:
+            raise ExecutionError(
+                f"intermediate {parent.describe()} was not materialized "
+                "before its children"
+            )
+        return self._catalog.get(name), False
+
+    def _aggregates_for(self, from_base: bool) -> list[AggregateSpec]:
+        return self._aggregates if from_base else self._reaggregates
+
+    def _group(
+        self,
+        source: Table,
+        from_base: bool,
+        columns: frozenset,
+        name: str,
+        metrics: ExecutionMetrics,
+    ) -> Table:
+        """One Group By, answered from an index when profitable."""
+        keys = sorted(columns)
+        aggregates = self._aggregates_for(from_base)
+        if from_base and self._use_indexes:
+            needed = set(keys) | {
+                a.column for a in aggregates if a.column is not None
+            }
+            index = self._catalog.find_covering_index(self._base_table, needed)
+            if index is not None and not index.clustered:
+                # A covering index scan reads the narrow projection
+                # instead of full base rows.
+                if index.scan_width(keys, source) <= source.row_width():
+                    return index.group_by(keys, aggregates, name, metrics)
+        return group_by(source, keys, aggregates, name=name, metrics=metrics)
+
+    def _run_compute(self, step: Step, result: ExecutionResult) -> None:
+        source, from_base = self._source_table(step.parent)
+        metrics = result.metrics
+        metrics.queries_executed += 1
+        bytes_before = metrics.work
+        if step.node.kind is NodeKind.GROUP_BY:
+            table = self._group(
+                source,
+                from_base,
+                step.node.columns,
+                temp_name_for(step.node),
+                metrics,
+            )
+            if step.materialize:
+                self._catalog.materialize_temp(table)
+                # Dictionary-encode the temp's key columns now so child
+                # queries aggregate over dense codes (the cost model
+                # charges this encode work as part of materialization).
+                for column in sorted(step.node.columns):
+                    table.dictionary(column)
+                metrics.record_materialize(table.num_rows, table.size_bytes())
+            if step.required:
+                result.results[step.node.columns] = table
+        elif step.node.kind is NodeKind.CUBE:
+            self._run_cube(step, source, from_base, result)
+        else:
+            self._run_rollup(step, source, from_base, result)
+        # Attribute this step's bytes for per-node observability.
+        metrics.per_query_bytes[step.node.describe()] = (
+            metrics.work - bytes_before
+        )
+
+    def _run_cube(
+        self,
+        step: Step,
+        source: Table,
+        from_base: bool,
+        result: ExecutionResult,
+    ) -> None:
+        """CUBE node: full Group By from the parent, then each covered
+        grouping from that result."""
+        metrics = result.metrics
+        top = self._group(
+            source,
+            from_base,
+            step.node.columns,
+            temp_name_for(step.node),
+            metrics,
+        )
+        top.build_dictionaries()
+        if step.node.columns in step.direct_answers:
+            result.results[step.node.columns] = top
+        for query in sorted(step.direct_answers, key=sorted):
+            if query == step.node.columns:
+                continue
+            metrics.queries_executed += 1
+            table = group_by(
+                top,
+                sorted(query),
+                self._reaggregates,
+                name="cube_" + "_".join(sorted(query)),
+                metrics=metrics,
+            )
+            result.results[query] = table
+
+    def _run_rollup(
+        self,
+        step: Step,
+        source: Table,
+        from_base: bool,
+        result: ExecutionResult,
+    ) -> None:
+        """ROLLUP node: successive prefixes, each from the previous."""
+        metrics = result.metrics
+        order = step.node.rollup_order
+        current = self._group(
+            source,
+            from_base,
+            step.node.columns,
+            temp_name_for(step.node),
+            metrics,
+        )
+        if step.node.columns in step.direct_answers:
+            result.results[step.node.columns] = current
+        for i in range(len(order) - 1, 0, -1):
+            prefix = frozenset(order[:i])
+            metrics.queries_executed += 1
+            current = group_by(
+                current,
+                list(order[:i]),
+                self._reaggregates,
+                name="rollup_" + "_".join(order[:i]),
+                metrics=metrics,
+            )
+            if prefix in step.direct_answers:
+                result.results[prefix] = current
+
+
+def execute_naive(
+    catalog: Catalog,
+    base_table: str,
+    queries: list[frozenset],
+    aggregates: list[AggregateSpec] | None = None,
+    use_indexes: bool = True,
+) -> ExecutionResult:
+    """Convenience: run every query directly against the base relation."""
+    from repro.core.plan import naive_plan
+
+    executor = PlanExecutor(
+        catalog, base_table, aggregates=aggregates, use_indexes=use_indexes
+    )
+    return executor.execute(naive_plan(base_table, queries))

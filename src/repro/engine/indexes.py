@@ -1,0 +1,133 @@
+"""Covering indexes: the engine's model of physical database design.
+
+Section 6.9 of the paper shows the GB-MQO optimizer adapting to physical
+design: once an index covering a column exists, grouping that column is
+cheap (the narrow index is scanned instead of the wide base table), so the
+optimizer leaves it as a singleton instead of merging it.
+
+A non-clustered index here is a sorted projection of its key columns —
+i.e. a covering index as a commercial system would scan it for a Group By
+query on a prefix of the key.  A clustered index physically orders the
+base table itself.  Both change (a) the cost model's scan estimate and
+(b) actual execution: a Group By whose columns are covered scans only the
+index and, when the columns form a key prefix, aggregates by boundary
+detection with no hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.aggregation import AggregateSpec, group_by
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.table import Table
+from repro.engine.types import SchemaError
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """Definition of an index to create.
+
+    Args:
+        name: index name.
+        columns: key columns, in key order.
+        clustered: whether this is the clustering key of the table.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    clustered: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("an index needs at least one key column")
+
+
+class Index:
+    """A built index over a table.
+
+    For a non-clustered index the engine materializes the sorted
+    projection of the key columns; its size is what a covering scan
+    costs.  For a clustered index no projection is stored (the base
+    table itself is resorted by the catalog); covering scans read the
+    full base table width, as they would on a real system.
+    """
+
+    def __init__(self, spec: IndexSpec, table: Table) -> None:
+        self.spec = spec
+        self.table_name = table.name
+        if spec.clustered:
+            self._projection: Table | None = None
+            self._size_bytes = table.size_bytes()
+        else:
+            projection = table.project(spec.columns, name=spec.name)
+            self._projection = projection.sort_by(spec.columns, name=spec.name)
+            self._size_bytes = self._projection.size_bytes()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.spec.columns
+
+    @property
+    def clustered(self) -> bool:
+        return self.spec.clustered
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    def covers(self, columns: Sequence[str]) -> bool:
+        """True if a Group By on ``columns`` can be answered from the index."""
+        return set(columns) <= set(self.spec.columns)
+
+    def is_prefix(self, columns: Sequence[str]) -> bool:
+        """True if ``columns`` (as a set) equal a prefix of the index key,
+        so the sorted order can be exploited directly."""
+        k = len(tuple(columns))
+        return set(columns) == set(self.spec.columns[:k])
+
+    def scan_width(self, columns: Sequence[str], base: Table) -> int:
+        """Bytes per row a covering scan of ``columns`` reads."""
+        if self.clustered:
+            return base.row_width()
+        assert self._projection is not None
+        return self._projection.row_width()
+
+    def group_by(
+        self,
+        columns: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        name: str,
+        metrics: ExecutionMetrics | None = None,
+    ) -> Table:
+        """Answer a Group By from the index projection.
+
+        Only valid for non-clustered indexes whose key covers ``columns``.
+        When the requested columns are a key prefix the sorted fast path
+        is used (ordered aggregation, no hashing).
+        """
+        if self._projection is None:
+            raise SchemaError(
+                f"clustered index {self.name!r} has no projection to scan"
+            )
+        if not self.covers(columns):
+            raise SchemaError(
+                f"index {self.name!r} does not cover columns {list(columns)!r}"
+            )
+        sorted_path = self.is_prefix(columns)
+        result = group_by(
+            self._projection,
+            list(columns),
+            aggregates,
+            name=name,
+            metrics=metrics,
+            assume_sorted=sorted_path,
+        )
+        if metrics is not None:
+            metrics.index_scans += 1
+        return result

@@ -1,0 +1,107 @@
+"""Hash equi-join and union-all operators.
+
+These support the Section 5.1.1 rewrites: a GROUPING SETS query defined
+over a join view, with grouping pushed below the join and a Grp-Tag
+column distinguishing the unioned groupings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.table import Table
+from repro.engine.types import SchemaError
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    name: str = "join",
+    metrics: ExecutionMetrics | None = None,
+) -> Table:
+    """Inner equi-join of two tables.
+
+    Args:
+        left, right: input relations.
+        on: list of (left_column, right_column) equality pairs.
+        name: result relation name.
+        metrics: execution counters to update.
+
+    Returns:
+        A table with all left columns followed by the right columns that
+        do not collide with a left name (join keys appear once).
+    """
+    if not on:
+        raise SchemaError("hash_join requires at least one key pair")
+    if metrics is not None:
+        metrics.record_scan(left.num_rows, left.size_bytes())
+        metrics.record_scan(right.num_rows, right.size_bytes())
+
+    left_keys = [left[l] for l, _ in on]
+    right_keys = [right[r] for _, r in on]
+
+    # Factorize both sides over the union of key values so codes align.
+    left_codes = np.zeros(left.num_rows, dtype=np.int64)
+    right_codes = np.zeros(right.num_rows, dtype=np.int64)
+    for l_col, r_col in zip(left_keys, right_keys):
+        union_values = np.concatenate([l_col, r_col])
+        uniques, inverse = np.unique(union_values, return_inverse=True)
+        card = max(len(uniques), 1)
+        left_codes = left_codes * card + inverse[: left.num_rows]
+        right_codes = right_codes * card + inverse[left.num_rows :]
+
+    # Sort the build side; probe with searchsorted ranges.
+    build_order = np.argsort(right_codes, kind="stable")
+    build_sorted = right_codes[build_order]
+    starts = np.searchsorted(build_sorted, left_codes, side="left")
+    ends = np.searchsorted(build_sorted, left_codes, side="right")
+    match_counts = ends - starts
+    left_idx = np.repeat(np.arange(left.num_rows), match_counts)
+    if len(left_idx):
+        offsets = np.concatenate(
+            [np.arange(c) + s for s, c in zip(starts, match_counts) if c]
+        )
+        right_idx = build_order[offsets]
+    else:
+        right_idx = np.zeros(0, dtype=np.int64)
+
+    columns: dict[str, np.ndarray] = {
+        col: left[col][left_idx] for col in left.column_names
+    }
+    for col in right.column_names:
+        if col not in columns:
+            columns[col] = right[col][right_idx]
+    return Table.wrap(name, columns)
+
+
+def union_all(
+    tables: Sequence[Table],
+    name: str = "union_all",
+    metrics: ExecutionMetrics | None = None,
+) -> Table:
+    """Concatenate tables with identical column names.
+
+    String columns are widened to the widest input dtype so values are
+    never truncated.
+    """
+    if not tables:
+        raise SchemaError("union_all requires at least one input")
+    first = tables[0]
+    for other in tables[1:]:
+        if other.column_names != first.column_names:
+            raise SchemaError(
+                "union_all inputs must have identical column lists: "
+                f"{first.column_names} vs {other.column_names}"
+            )
+    columns = {}
+    for col in first.column_names:
+        parts = [t[col] for t in tables]
+        columns[col] = np.concatenate(parts)
+    if metrics is not None:
+        for table in tables:
+            metrics.record_scan(table.num_rows, table.size_bytes())
+    return Table.wrap(name, columns)

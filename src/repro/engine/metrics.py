@@ -1,0 +1,65 @@
+"""Execution metrics collected by every physical operator.
+
+The paper measures plan quality in wall-clock time on a real DBMS.  Our
+engine also runs for real (numpy work per scan and per aggregation), but
+for stable assertions in tests the engine additionally maintains
+deterministic counters: bytes scanned, bytes materialized, rows grouped.
+``work`` (bytes scanned + bytes materialized) is the deterministic proxy
+for plan cost used in integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionMetrics:
+    """Mutable counters threaded through physical operators."""
+
+    rows_scanned: int = 0
+    bytes_scanned: int = 0
+    rows_materialized: int = 0
+    bytes_materialized: int = 0
+    group_by_ops: int = 0
+    index_scans: int = 0
+    queries_executed: int = 0
+    sort_ops: int = 0
+    per_query_bytes: dict = field(default_factory=dict)
+
+    @property
+    def work(self) -> int:
+        """Deterministic cost proxy: total bytes read plus written."""
+        return self.bytes_scanned + self.bytes_materialized
+
+    def record_scan(self, rows: int, bytes_: int, *, from_index: bool = False) -> None:
+        self.rows_scanned += rows
+        self.bytes_scanned += bytes_
+        if from_index:
+            self.index_scans += 1
+
+    def record_materialize(self, rows: int, bytes_: int) -> None:
+        self.rows_materialized += rows
+        self.bytes_materialized += bytes_
+
+    def record_group_by(self) -> None:
+        self.group_by_ops += 1
+
+    def record_sort(self) -> None:
+        self.sort_ops += 1
+
+    def merged_with(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
+        """Return a new metrics object combining self and other."""
+        merged = ExecutionMetrics(
+            rows_scanned=self.rows_scanned + other.rows_scanned,
+            bytes_scanned=self.bytes_scanned + other.bytes_scanned,
+            rows_materialized=self.rows_materialized + other.rows_materialized,
+            bytes_materialized=self.bytes_materialized + other.bytes_materialized,
+            group_by_ops=self.group_by_ops + other.group_by_ops,
+            index_scans=self.index_scans + other.index_scans,
+            queries_executed=self.queries_executed + other.queries_executed,
+            sort_ops=self.sort_ops + other.sort_ops,
+        )
+        merged.per_query_bytes = dict(self.per_query_bytes)
+        merged.per_query_bytes.update(other.per_query_bytes)
+        return merged

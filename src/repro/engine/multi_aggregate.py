@@ -1,0 +1,217 @@
+"""Executing plans for workloads with per-query aggregates (Section 7.2).
+
+The base GB-MQO problem assumes COUNT(*) everywhere.  This module
+executes a logical plan for queries that each carry their own aggregate
+list (SUM, MIN, MAX, AVG, COUNT(col), ...):
+
+* every intermediate node materializes the *union* of the aggregates
+  needed anywhere in its subtree (the Section 7.2 union strategy, which
+  :func:`repro.core.extensions.choose_merge_strategy` justifies when
+  scans dominate);
+* children re-aggregate distributively (COUNT -> SUM of partial counts,
+  SUM -> SUM, MIN -> MIN, MAX -> MAX);
+* AVG is decomposed into SUM + COUNT during planning and recombined
+  when the query's result is captured — the standard rewrite that makes
+  it distributive.
+
+Aggregates are tracked by canonical identity (func, column), so two
+queries requesting SUM(x) under different aliases share one
+materialized column; requested aliases are restored on capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.extensions import AggregateQuery
+from repro.core.plan import LogicalPlan, NodeKind, SubPlan
+from repro.engine.aggregation import AggregateSpec, group_by, reaggregate_specs
+from repro.engine.catalog import Catalog
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.table import Table
+from repro.engine.types import EngineError, SchemaError
+
+
+class MultiAggregateError(EngineError):
+    """The workload or plan cannot be executed with these aggregates."""
+
+
+def canonical_alias(func: str, column: str | None) -> str:
+    """The shared output column name for one aggregate identity."""
+    if func == "count":
+        return "cnt"
+    return f"{func}_{column}"
+
+
+def _canonical(spec: AggregateSpec) -> AggregateSpec:
+    return AggregateSpec(spec.func, spec.column, canonical_alias(spec.func, spec.column))
+
+
+@dataclass(frozen=True)
+class _CaptureColumn:
+    """How to produce one requested output column from canonical ones."""
+
+    alias: str  # the user-requested name
+    kind: str  # 'direct' or 'avg'
+    source: str = ""  # canonical alias for 'direct'
+    sum_alias: str = ""  # canonical SUM alias for 'avg'
+    count_alias: str = ""  # canonical COUNT alias for 'avg'
+
+
+@dataclass
+class PreparedWorkload:
+    """A multi-aggregate workload normalized for execution.
+
+    Attributes:
+        needs: query column set -> canonical aggregate specs it needs.
+        captures: query column set -> output column recipes.
+    """
+
+    needs: dict = field(default_factory=dict)
+    captures: dict = field(default_factory=dict)
+
+
+def prepare_workload(queries: list[AggregateQuery]) -> PreparedWorkload:
+    """Normalize aliases, decompose AVG, and index needs by column set."""
+    prepared = PreparedWorkload()
+    for query in queries:
+        columns = frozenset(query.columns)
+        needs = prepared.needs.setdefault(columns, {})
+        captures = prepared.captures.setdefault(columns, [])
+        for spec in query.aggregates:
+            if spec.func == "avg":
+                if spec.column is None:
+                    raise MultiAggregateError("AVG requires a column")
+                sum_spec = _canonical(AggregateSpec("sum", spec.column, "x"))
+                cnt_spec = _canonical(AggregateSpec.count_star())
+                needs[(sum_spec.func, sum_spec.column)] = sum_spec
+                needs[(cnt_spec.func, cnt_spec.column)] = cnt_spec
+                captures.append(
+                    _CaptureColumn(
+                        alias=spec.alias,
+                        kind="avg",
+                        sum_alias=sum_spec.alias,
+                        count_alias=cnt_spec.alias,
+                    )
+                )
+            else:
+                canonical = _canonical(spec)
+                needs[(canonical.func, canonical.column)] = canonical
+                captures.append(
+                    _CaptureColumn(
+                        alias=spec.alias, kind="direct", source=canonical.alias
+                    )
+                )
+    return prepared
+
+
+def _subtree_needs(subplan: SubPlan, prepared: PreparedWorkload) -> dict:
+    """Union of canonical aggregates needed anywhere under ``subplan``."""
+    needs: dict = {}
+    answered = subplan.answered_queries()
+    for columns in answered:
+        needs.update(prepared.needs.get(columns, {}))
+    return needs
+
+
+def execute_multi_aggregate(
+    catalog: Catalog,
+    base_table: str,
+    plan: LogicalPlan,
+    queries: list[AggregateQuery],
+) -> "MultiAggregateResult":
+    """Execute ``plan`` computing each query's own aggregates.
+
+    Args:
+        catalog: catalog holding the base relation.
+        base_table: name of R.
+        plan: a logical plan answering exactly the queries' column sets
+            (obtain it from the optimizer over
+            :func:`repro.core.extensions.queries_to_column_sets`).
+        queries: the aggregate queries.
+
+    Returns:
+        Results keyed by column set, each projected to the requested
+        keys + aggregate aliases.
+    """
+    for subplan in plan.iter_subplans():
+        if subplan.node.kind is not NodeKind.GROUP_BY:
+            raise MultiAggregateError(
+                "CUBE/ROLLUP nodes are not supported with per-query "
+                "aggregates; plan with plain Group By nodes"
+            )
+    prepared = prepare_workload(queries)
+    missing = set(prepared.needs) - plan.answered_queries()
+    if missing:
+        raise MultiAggregateError(
+            f"plan does not answer {len(missing)} of the queries"
+        )
+    result = MultiAggregateResult()
+    base = catalog.get(base_table)
+    for subplan in plan.subplans:
+        _run_subtree(subplan, base, True, prepared, result)
+    return result
+
+
+@dataclass
+class MultiAggregateResult:
+    """Results and metrics of one multi-aggregate execution."""
+
+    results: dict = field(default_factory=dict)
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+
+
+def _run_subtree(
+    subplan: SubPlan,
+    parent: Table,
+    from_base: bool,
+    prepared: PreparedWorkload,
+    result: MultiAggregateResult,
+) -> None:
+    needs = _subtree_needs(subplan, prepared)
+    specs = list(needs.values())
+    if not specs:
+        raise MultiAggregateError(
+            f"node {subplan.node.describe()} answers no aggregates"
+        )
+    compute = specs if from_base else reaggregate_specs(specs)
+    keys = sorted(subplan.node.columns)
+    table = group_by(
+        parent,
+        keys,
+        compute,
+        name="agg_" + "_".join(keys),
+        metrics=result.metrics,
+    )
+    result.metrics.queries_executed += 1
+    if subplan.required:
+        _capture(subplan.node.columns, table, prepared, result)
+    for child in subplan.children:
+        _run_subtree(child, table, False, prepared, result)
+
+
+def _capture(
+    columns: frozenset,
+    table: Table,
+    prepared: PreparedWorkload,
+    result: MultiAggregateResult,
+) -> None:
+    recipes = prepared.captures.get(columns, [])
+    output: dict[str, np.ndarray] = {
+        key: table[key] for key in sorted(columns)
+    }
+    for recipe in recipes:
+        if recipe.alias in output:
+            raise SchemaError(f"duplicate output column {recipe.alias!r}")
+        if recipe.kind == "direct":
+            output[recipe.alias] = table[recipe.source]
+        else:
+            counts = table[recipe.count_alias]
+            output[recipe.alias] = table[recipe.sum_alias] / np.maximum(
+                counts, 1
+            )
+    result.results[columns] = Table.wrap(
+        "result_" + "_".join(sorted(columns)), output
+    )

@@ -1,0 +1,215 @@
+"""Columnar table: an ordered mapping of column name to numpy array."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.engine.types import SchemaError, coerce_column, value_width
+
+
+class Table:
+    """An immutable, in-memory, columnar relation.
+
+    Columns are numpy arrays of equal length.  The table never mutates its
+    arrays after construction; operators build new tables.
+
+    Args:
+        name: relation name (used by the catalog and in generated SQL).
+        columns: mapping of column name to a 1-D array-like.  Insertion
+            order is the column order.
+    """
+
+    def __init__(self, name: str, columns: Mapping[str, Sequence]) -> None:
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self._columns: dict[str, np.ndarray] = {}
+        self._dictionaries: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        n_rows = None
+        for col_name, values in columns.items():
+            array = coerce_column(values)
+            if n_rows is None:
+                n_rows = len(array)
+            elif len(array) != n_rows:
+                raise SchemaError(
+                    f"column {col_name!r} has {len(array)} rows, "
+                    f"expected {n_rows}"
+                )
+            self._columns[col_name] = array
+        self._num_rows = int(n_rows if n_rows is not None else 0)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def __getitem__(self, column: str) -> np.ndarray:
+        try:
+            return self._columns[column]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Table({self.name!r}, rows={self._num_rows}, "
+            f"columns={list(self._columns)})"
+        )
+
+    # -- size model ---------------------------------------------------------
+
+    def row_width(self, columns: Iterable[str] | None = None) -> int:
+        """Bytes per row over ``columns`` (all columns when None)."""
+        names = self.column_names if columns is None else tuple(columns)
+        return sum(value_width(self[c]) for c in names)
+
+    def size_bytes(self, columns: Iterable[str] | None = None) -> int:
+        """Total storage for ``columns`` (all columns when None)."""
+        return self.row_width(columns) * self._num_rows
+
+    # -- dictionary encoding ---------------------------------------------------
+
+    def dictionary(self, column: str) -> tuple[np.ndarray, np.ndarray]:
+        """Dense dictionary codes for a column: (codes, distinct_values).
+
+        Engines dictionary-encode columns at load time; grouping then
+        works on dense integer codes instead of raw values.  The
+        dictionary is built lazily on first use and cached (call
+        :meth:`build_dictionaries` to pay the cost up front at load).
+        Codes follow the sorted order of the distinct values, so
+        ``distinct_values[code]`` recovers the original value.
+        """
+        if column not in self._dictionaries:
+            uniques, inverse = np.unique(self[column], return_inverse=True)
+            self._dictionaries[column] = (
+                inverse.astype(np.int64, copy=False),
+                uniques,
+            )
+        return self._dictionaries[column]
+
+    def build_dictionaries(self) -> None:
+        """Eagerly dictionary-encode every column (load-time work)."""
+        for column in self.column_names:
+            self.dictionary(column)
+
+    def touch(self, columns: Iterable[str] | None = None) -> int:
+        """Read every value of ``columns`` (all when None); return bytes.
+
+        The engine models a *row store*: scanning a table for a query
+        reads whole rows regardless of which columns the query uses, as
+        in the paper's cost discussion.  ``touch`` makes that cost real
+        by paying one memory pass over the data, so wall-clock timings
+        reflect row-store scan volume rather than columnar shortcuts.
+        """
+        names = self.column_names if columns is None else tuple(columns)
+        total = 0
+        for name in names:
+            array = self._columns[name]
+            if array.dtype.kind == "U":
+                view = np.ascontiguousarray(array).view(np.uint32)
+            else:
+                view = array
+            if len(view):
+                # A reduction forces the memory traffic of a scan.
+                np.add.reduce(view)
+            total += array.nbytes
+        return total
+
+    # -- construction helpers -----------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, name: str, column_names: Sequence[str], rows: Iterable[Sequence]
+    ) -> "Table":
+        """Build a table from an iterable of row tuples (tests/examples)."""
+        rows = list(rows)
+        if rows:
+            columns = {
+                col: [row[i] for row in rows]
+                for i, col in enumerate(column_names)
+            }
+        else:
+            columns = {col: np.array([], dtype=np.int64) for col in column_names}
+        return cls(name, columns)
+
+    def to_rows(self, columns: Sequence[str] | None = None) -> list[tuple]:
+        """Materialize rows as python tuples (tests/examples only)."""
+        names = self.column_names if columns is None else tuple(columns)
+        arrays = [self[c] for c in names]
+        return [tuple(a[i].item() for a in arrays) for i in range(self._num_rows)]
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Iterate rows as tuples (tests/examples only)."""
+        return iter(self.to_rows())
+
+    # -- relational helpers ---------------------------------------------------
+
+    def project(self, columns: Sequence[str], name: str | None = None) -> "Table":
+        """Return a projection sharing the underlying arrays (zero copy)."""
+        missing = [c for c in columns if c not in self._columns]
+        if missing:
+            raise SchemaError(
+                f"table {self.name!r} has no columns {missing!r}"
+            )
+        projection = Table.wrap(
+            name or self.name, {c: self._columns[c] for c in columns}
+        )
+        # The projection shares arrays, so cached dictionaries carry over.
+        for column in columns:
+            if column in self._dictionaries:
+                projection._dictionaries[column] = self._dictionaries[column]
+        return projection
+
+    def take(self, selector: np.ndarray, name: str | None = None) -> "Table":
+        """Return rows selected by a boolean mask or an index array."""
+        return Table.wrap(
+            name or self.name,
+            {c: arr[selector] for c, arr in self._columns.items()},
+        )
+
+    def rename(self, name: str) -> "Table":
+        """Return the same data under a different relation name."""
+        return Table.wrap(name, dict(self._columns))
+
+    def with_column(self, column: str, values: Sequence) -> "Table":
+        """Return a new table with an extra (or replaced) column."""
+        columns = dict(self._columns)
+        columns[column] = coerce_column(values)
+        if len(columns[column]) != self._num_rows:
+            raise SchemaError(
+                f"new column {column!r} has {len(columns[column])} rows, "
+                f"expected {self._num_rows}"
+            )
+        return Table.wrap(self.name, columns)
+
+    def sort_by(self, columns: Sequence[str], name: str | None = None) -> "Table":
+        """Return a copy sorted lexicographically by ``columns``."""
+        order = np.lexsort([self[c] for c in reversed(list(columns))])
+        return self.take(order, name=name)
+
+    @classmethod
+    def wrap(cls, name: str, columns: dict[str, np.ndarray]) -> "Table":
+        """Internal fast-path constructor that skips coercion/validation.
+
+        Callers must pass already-validated arrays of equal length.
+        """
+        table = cls.__new__(cls)
+        table.name = name
+        table._columns = columns
+        table._dictionaries = {}
+        table._num_rows = len(next(iter(columns.values()))) if columns else 0
+        return table

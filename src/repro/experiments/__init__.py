@@ -1,0 +1,15 @@
+"""Experiment modules: one per table and figure of the paper's Section 6.
+
+Every module exposes ``run(...) -> ExperimentResult`` (paper-style text
+table plus structured rows) and can be executed directly, e.g.::
+
+    python -m repro.experiments.exp_table2
+
+The benchmarks under ``benchmarks/`` call the same ``run`` functions at
+reduced scale and assert the reproduced *shapes* (who wins, direction of
+trends), recording timings via pytest-benchmark.
+"""
+
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["ExperimentResult"]

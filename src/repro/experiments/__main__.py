@@ -1,0 +1,91 @@
+"""Run the whole evaluation: every table and figure, one command.
+
+::
+
+    python -m repro.experiments [--fast] [--out results.txt]
+
+``--fast`` runs each experiment at reduced scale (a few minutes);
+without it the full default scales are used.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    exp_aggregates,
+    exp_binary_tree,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_fig13,
+    exp_fig14,
+    exp_storage,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+)
+
+#: (module, fast-scale keyword arguments) in paper order.
+ALL_EXPERIMENTS = (
+    (exp_table1, {"rows": {"1g TPC-H (lineitem)": 30_000, "SALES": 30_000}}),
+    (exp_table2, {"rows": 60_000}),
+    (
+        exp_table3,
+        {
+            "rows_1g": 30_000,
+            "rows_10g": 60_000,
+            "rows_sales": 30_000,
+            "rows_nref": 30_000,
+        },
+    ),
+    (exp_fig9, {"rows": 30_000, "n_workloads": 5}),
+    (exp_fig10, {"rows": 15_000, "widths": (12, 24, 36)}),
+    (exp_binary_tree, {"rows": 30_000}),
+    (exp_fig11, {"rows": 20_000}),
+    (exp_fig12, {"rows_1g": 30_000, "rows_10g": 90_000}),
+    (exp_fig13, {"rows": 40_000, "z_values": (0.0, 1.0, 2.0, 3.0)}),
+    (exp_fig14, {"rows": 40_000}),
+    (exp_storage, {"rows": 30_000}),
+    (exp_aggregates, {"rows": 30_000}),
+)
+
+
+def run_all(fast: bool = True, stream=None) -> list:
+    """Run every experiment; return the ExperimentResult list."""
+    stream = stream or sys.stdout
+    results = []
+    for module, fast_kwargs in ALL_EXPERIMENTS:
+        started = time.perf_counter()
+        result = module.run(**(fast_kwargs if fast else {}))
+        elapsed = time.perf_counter() - started
+        results.append(result)
+        print(result.render(), file=stream)
+        print(f"[{result.experiment_id} regenerated in {elapsed:.1f}s]\n", file=stream)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate every table and figure of the paper",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced scales (minutes)"
+    )
+    parser.add_argument("--out", help="also write the report to this file")
+    args = parser.parse_args(argv)
+    results = run_all(fast=args.fast)
+    if args.out:
+        with open(args.out, "w") as handle:
+            for result in results:
+                handle.write(result.render() + "\n\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

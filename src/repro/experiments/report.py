@@ -1,0 +1,70 @@
+"""Rendering experiment results as paper-style text tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Fixed-width text table with a title rule, like the paper's tables."""
+    formatted = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in formatted
+    ]
+    return "\n".join([title, rule, line, rule, *body, rule])
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment.
+
+    Attributes:
+        experiment_id: paper artifact id, e.g. 'Table 2' or 'Figure 13'.
+        title: human-readable description.
+        headers: column names of the result table.
+        rows: the result rows (tuples aligned with headers).
+        notes: free-form remarks (substitutions, parameters, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                f"{self.experiment_id} — {self.title}", self.headers, self.rows
+            )
+        ]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name (for assertions in tests)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,17 @@
+"""NP-completeness machinery (Section 3.4 and Appendix A)."""
+
+from repro.hardness.reduction import (
+    CrossProductInstance,
+    gbmqo_plan_from_xr_tree,
+    optimal_xr_tree,
+    xr_tree_cost,
+    xr_tree_from_gbmqo_plan,
+)
+
+__all__ = [
+    "CrossProductInstance",
+    "gbmqo_plan_from_xr_tree",
+    "optimal_xr_tree",
+    "xr_tree_cost",
+    "xr_tree_from_gbmqo_plan",
+]

@@ -1,0 +1,235 @@
+"""Executable form of the Appendix A NP-completeness reduction.
+
+The paper proves GB-MQO NP-complete — even restricted to single-column
+queries under the Cardinality cost model — by reduction from XR, the
+problem of finding the optimal *bushy* plan for the cross product of N
+relations (Scheufele & Moerkotte, PODS '97).  This module makes the
+reduction executable so its cost correspondence can be property-tested:
+
+* an XR instance is a list of relation cardinalities;
+* a bushy cross-product plan is a binary tree over the relations, with
+  cost the sum of the cross-product sizes of its internal nodes;
+* the mapped GB-MQO instance has one column per relation, independent
+  columns (so a column set's group count is the product of the
+  cardinalities), and asks for all single-column Group Bys;
+* mapping a bushy tree to a logical plan doubles its internal cost:
+  ``Cost(f(T)) = 2 * xr_tree_cost(T)`` under the Cardinality model,
+  so the optima correspond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+
+
+@dataclass(frozen=True)
+class XRTree:
+    """A bushy cross-product plan: a full binary tree over relations.
+
+    ``index`` is set for leaves; internal nodes carry ``left``/``right``.
+    """
+
+    index: int | None = None
+    left: "XRTree | None" = None
+    right: "XRTree | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.index is not None
+
+    def relations(self) -> frozenset:
+        if self.is_leaf:
+            return frozenset([self.index])
+        assert self.left is not None and self.right is not None
+        return self.left.relations() | self.right.relations()
+
+
+@dataclass(frozen=True)
+class CrossProductInstance:
+    """An XR instance: the cardinalities of the N relations."""
+
+    cardinalities: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cardinalities) < 2:
+            raise ValueError("XR needs at least two relations")
+        if any(c < 2 for c in self.cardinalities):
+            raise ValueError(
+                "WLOG the reduction assumes every |R_i| >= 2 "
+                "(single-row relations never change cross-product cost)"
+            )
+
+    def column_name(self, index: int) -> str:
+        return f"c{index}"
+
+    def queries(self) -> list[frozenset]:
+        """The mapped GB-MQO input: all single-column Group Bys."""
+        return [
+            frozenset([self.column_name(i)])
+            for i in range(len(self.cardinalities))
+        ]
+
+    def product(self, relations: frozenset) -> int:
+        result = 1
+        for index in relations:
+            result *= self.cardinalities[index]
+        return result
+
+
+class IndependentEstimator:
+    """Cardinality oracle for the reduction's synthetic relation.
+
+    Columns are independent and jointly a key, so GROUP BY of a column
+    set has exactly the product of the per-column cardinalities as its
+    group count, and |R| is the product over all columns.
+    """
+
+    def __init__(self, instance: CrossProductInstance) -> None:
+        self._instance = instance
+        self._card_of = {
+            instance.column_name(i): card
+            for i, card in enumerate(instance.cardinalities)
+        }
+
+    @property
+    def base_rows(self) -> int:
+        rows = 1
+        for card in self._instance.cardinalities:
+            rows *= card
+        return rows
+
+    def rows(self, columns: frozenset) -> float:
+        product = 1.0
+        for column in columns:
+            product *= self._card_of[column]
+        return product
+
+    def row_width(self, columns: frozenset) -> float:
+        return 8.0 * len(columns) + 8.0
+
+
+def xr_tree_cost(tree: XRTree, instance: CrossProductInstance) -> int:
+    """Sum of cross-product sizes over the internal nodes of a plan."""
+    if tree.is_leaf:
+        return 0
+    assert tree.left is not None and tree.right is not None
+    own = instance.product(tree.relations())
+    return own + xr_tree_cost(tree.left, instance) + xr_tree_cost(
+        tree.right, instance
+    )
+
+
+def _subplan_from_xr(tree: XRTree, instance: CrossProductInstance) -> SubPlan:
+    if tree.is_leaf:
+        return SubPlan.leaf(
+            frozenset([instance.column_name(tree.index)]), required=True
+        )
+    assert tree.left is not None and tree.right is not None
+    columns = frozenset(
+        instance.column_name(i) for i in tree.relations()
+    )
+    children = (
+        _subplan_from_xr(tree.left, instance),
+        _subplan_from_xr(tree.right, instance),
+    )
+    return SubPlan(PlanNode(columns), children, required=False)
+
+
+def gbmqo_plan_from_xr_tree(
+    tree: XRTree, instance: CrossProductInstance, relation: str = "R"
+) -> LogicalPlan:
+    """The mapping f: drop the XR root and attach its two subtrees to R.
+
+    The appendix shows the optimal logical plan has exactly two
+    sub-plans; the XR root (which covers all relations, i.e. equals R's
+    cardinality) corresponds to R itself.
+    """
+    if tree.is_leaf:
+        raise ValueError("an XR plan over >= 2 relations has an internal root")
+    assert tree.left is not None and tree.right is not None
+    subplans = (
+        _subplan_from_xr(tree.left, instance),
+        _subplan_from_xr(tree.right, instance),
+    )
+    plan = LogicalPlan(relation, subplans, frozenset(instance.queries()))
+    plan.validate()
+    return plan
+
+
+def _xr_from_subplan(subplan: SubPlan, instance: CrossProductInstance) -> XRTree:
+    if not subplan.children:
+        (column,) = subplan.node.columns
+        index = int(column[1:])
+        return XRTree(index=index)
+    if len(subplan.children) != 2:
+        raise ValueError("the reduction maps binary-tree plans only")
+    return XRTree(
+        left=_xr_from_subplan(subplan.children[0], instance),
+        right=_xr_from_subplan(subplan.children[1], instance),
+    )
+
+
+def xr_tree_from_gbmqo_plan(
+    plan: LogicalPlan, instance: CrossProductInstance
+) -> XRTree:
+    """The inverse mapping f^-1 for two-sub-plan binary-tree plans."""
+    if len(plan.subplans) != 2:
+        raise ValueError(
+            "f^-1 is defined on plans with exactly two sub-plans"
+        )
+    return XRTree(
+        left=_xr_from_subplan(plan.subplans[0], instance),
+        right=_xr_from_subplan(plan.subplans[1], instance),
+    )
+
+
+def optimal_xr_tree(
+    instance: CrossProductInstance,
+) -> tuple[int, XRTree]:
+    """Exact optimal bushy plan by subset dynamic programming.
+
+    Exponential (3^N) — only for the small instances tests use.
+    """
+    n = len(instance.cardinalities)
+    products = {}
+
+    def product_of(mask: int) -> int:
+        if mask not in products:
+            result = 1
+            for i in range(n):
+                if mask & (1 << i):
+                    result *= instance.cardinalities[i]
+            products[mask] = result
+        return products[mask]
+
+    @lru_cache(maxsize=None)
+    def best(mask: int) -> tuple[int, XRTree]:
+        indices = [i for i in range(n) if mask & (1 << i)]
+        if len(indices) == 1:
+            return 0, XRTree(index=indices[0])
+        lowest = mask & -mask
+        rest = mask ^ lowest
+        best_cost, best_tree = None, None
+        # Proper submasks of rest (including 0, excluding rest itself),
+        # so the right side is never empty.
+        sub = (rest - 1) & rest
+        while True:
+            left_mask = sub | lowest
+            right_mask = mask ^ left_mask
+            left_cost, left_tree = best(left_mask)
+            right_cost, right_tree = best(right_mask)
+            cost = left_cost + right_cost + product_of(mask)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_tree = XRTree(left=left_tree, right=right_tree)
+            if sub == 0:
+                break
+            sub = (sub - 1) & rest
+        assert best_cost is not None and best_tree is not None
+        return best_cost, best_tree
+
+    return best((1 << n) - 1)

@@ -1,0 +1,80 @@
+"""Statistics manager: one-stop statistics facade for a base table.
+
+Ties together column statistics, histograms, the sampler and a
+cardinality estimator, the way a DBMS statistics subsystem serves its
+optimizer.  Used by the data-quality profiling example and by the engine
+cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engine.table import Table
+from repro.stats.cardinality import (
+    CardinalityEstimator,
+    ExactCardinalityEstimator,
+    SampledCardinalityEstimator,
+)
+from repro.stats.column_stats import ColumnStats, exact_column_stats
+
+
+class StatisticsManager:
+    """Builds and caches statistics for one base table.
+
+    Args:
+        table: the relation statistics describe.
+        mode: 'exact' for oracle statistics, 'sampled' for the realistic
+            sample-and-estimate path (metered, used in Section 6.7).
+        sample_rows: sample size for 'sampled' mode.
+        seed: sampling seed.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        mode: str = "sampled",
+        sample_rows: int = 10_000,
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("exact", "sampled"):
+            raise ValueError(f"unknown statistics mode {mode!r}")
+        self._table = table
+        self.mode = mode
+        if mode == "exact":
+            self._estimator: CardinalityEstimator = ExactCardinalityEstimator(table)
+        else:
+            self._estimator = SampledCardinalityEstimator(
+                table, sample_rows=sample_rows, seed=seed
+            )
+        self._column_stats: dict[str, ColumnStats] = {}
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    @property
+    def estimator(self) -> CardinalityEstimator:
+        return self._estimator
+
+    def column_stats(self, column: str) -> ColumnStats:
+        """Exact per-column statistics (built on first request)."""
+        if column not in self._column_stats:
+            self._column_stats[column] = exact_column_stats(self._table, column)
+        return self._column_stats[column]
+
+    def ensure_statistics(self, column_sets: Iterable[frozenset]) -> None:
+        """Pre-create group cardinality statistics for ``column_sets``."""
+        for columns in column_sets:
+            self._estimator.rows(frozenset(columns))
+
+    def creation_seconds(self) -> float:
+        """Time spent building sampled statistics (0 for exact mode)."""
+        if isinstance(self._estimator, SampledCardinalityEstimator):
+            return self._estimator.creation_seconds
+        return 0.0
+
+    def created_statistics(self) -> list[frozenset]:
+        if isinstance(self._estimator, SampledCardinalityEstimator):
+            return list(self._estimator.created_statistics)
+        return []

@@ -1,0 +1,77 @@
+"""Hypothetical ("what-if") tables.
+
+Section 3.2.2: "we take advantage of the capabilities of what-if analysis
+APIs in today's commercial query optimizers.  These APIs allow us to
+pretend (as far as the query optimizer is concerned) that a table exists,
+and has a given cardinality and database statistics."
+
+The GB-MQO cost model must cost the query u -> v where u is an
+intermediate node that has not been materialized.  The registry lets the
+planner declare such a node with its estimated cardinality and row width;
+cost models then treat it like a real table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.columnset import format_columns
+
+
+@dataclass(frozen=True)
+class HypotheticalTable:
+    """A pretend table: a Group By result that does not exist yet.
+
+    Attributes:
+        columns: the grouping columns of the node.
+        est_rows: optimizer-estimated row count.
+        row_width: optimizer-estimated bytes per row (keys + count).
+    """
+
+    columns: frozenset
+    est_rows: float
+    row_width: float
+
+    @property
+    def name(self) -> str:
+        return "whatif_" + "_".join(sorted(self.columns))
+
+    def size_bytes(self) -> float:
+        return self.est_rows * self.row_width
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: GROUP BY {format_columns(self.columns)} "
+            f"~{self.est_rows:.0f} rows x {self.row_width:.0f} B"
+        )
+
+
+@dataclass
+class WhatIfRegistry:
+    """Registry of hypothetical tables declared during an optimization.
+
+    Mirrors the commercial what-if API surface: ``create`` declares a
+    pretend table, ``lookup`` retrieves it, and ``calls`` counts how many
+    declarations were made (part of the optimization-cost accounting).
+    """
+
+    _tables: dict[frozenset, HypotheticalTable] = field(default_factory=dict)
+    calls: int = 0
+
+    def create(
+        self, columns: frozenset, est_rows: float, row_width: float
+    ) -> HypotheticalTable:
+        columns = frozenset(columns)
+        table = HypotheticalTable(columns, est_rows, row_width)
+        self._tables[columns] = table
+        self.calls += 1
+        return table
+
+    def lookup(self, columns: frozenset) -> HypotheticalTable | None:
+        return self._tables.get(frozenset(columns))
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self):
+        return iter(self._tables.values())

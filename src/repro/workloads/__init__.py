@@ -1,0 +1,35 @@
+"""Synthetic datasets and query workloads for the experiments.
+
+The paper evaluates on TPC-H lineitem (1 GB and 10 GB), a proprietary
+SALES warehouse and the PIR-NREF ``neighboring_seq`` relation.  None are
+redistributable here, so each has a generator matched on the properties
+the algorithm is sensitive to: column count, per-column distinct-value
+profiles (dense categorical vs. sparse near-key columns), and
+correlation between column groups (correlated columns have small unions
+and merge well).
+"""
+
+from repro.workloads.nref import make_neighboring_seq
+from repro.workloads.queries import (
+    containment_workload,
+    random_subset_workloads,
+    single_column_queries,
+    two_column_queries,
+    widen_table,
+)
+from repro.workloads.sales import make_sales
+from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
+from repro.workloads.zipf import zipf_indices
+
+__all__ = [
+    "LINEITEM_SC_COLUMNS",
+    "containment_workload",
+    "make_lineitem",
+    "make_neighboring_seq",
+    "make_sales",
+    "random_subset_workloads",
+    "single_column_queries",
+    "two_column_queries",
+    "widen_table",
+    "zipf_indices",
+]

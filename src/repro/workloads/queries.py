@@ -1,0 +1,104 @@
+"""Query workload builders (the input sets S of the experiments).
+
+* SC — all single-column Group Bys (the data-quality scenario);
+* TC — all two-column Group Bys (Section 6.2's TC rows);
+* CONT — a containment family like Section 6.1's
+  {(ship), (commit), (receipt), (ship,commit), (ship,receipt),
+  (commit,receipt)};
+* random k-column subsets (the Q0..Q9 workloads of Section 6.3);
+* table widening by repeating columns (Section 6.4's scaling setup).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.table import Table
+
+
+def single_column_queries(columns: Sequence[str]) -> list[frozenset]:
+    """SC: one single-column Group By per column."""
+    return [frozenset([column]) for column in columns]
+
+
+def two_column_queries(columns: Sequence[str]) -> list[frozenset]:
+    """TC: every two-column Group By over ``columns``."""
+    return [frozenset(pair) for pair in combinations(columns, 2)]
+
+
+def containment_workload(columns: Sequence[str]) -> list[frozenset]:
+    """CONT: all singletons plus all pairs of a small column family.
+
+    With ``columns = (ship, commit, receipt)`` this is exactly the
+    Section 6.1 CONT input.
+    """
+    return single_column_queries(columns) + two_column_queries(columns)
+
+
+def combi_workload(
+    columns: Sequence[str], max_size: int
+) -> list[frozenset]:
+    """The Combi operator's input (related work [15], Hinneburg et al.):
+    every non-empty subset of ``columns`` up to ``max_size`` columns.
+
+    The paper cites this syntactic extension as "useful for the kinds of
+    data analysis scenarios presented in this paper where e.g. all
+    single-column and two-column Group By queries over a relation are
+    required" — ``combi_workload(cols, 2)`` is exactly SC ∪ TC.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be at least 1")
+    queries = []
+    for size in range(1, min(max_size, len(columns)) + 1):
+        queries.extend(
+            frozenset(combo) for combo in combinations(columns, size)
+        )
+    return queries
+
+
+def random_subset_workloads(
+    columns: Sequence[str],
+    k: int,
+    n_workloads: int,
+    seed: int = 0,
+) -> list[list[frozenset]]:
+    """Section 6.3's Q0..Q9: ``n_workloads`` random k-column SC inputs.
+
+    Each workload randomly chooses ``k`` of ``columns`` and asks for all
+    their single-column Group Bys.
+    """
+    rng = np.random.default_rng(seed)
+    workloads = []
+    columns = list(columns)
+    for _ in range(n_workloads):
+        chosen = rng.choice(len(columns), size=k, replace=False)
+        workloads.append(
+            single_column_queries([columns[i] for i in sorted(chosen)])
+        )
+    return workloads
+
+
+def widen_table(table: Table, n_columns: int, name: str | None = None) -> Table:
+    """Widen a table to ``n_columns`` by repeating its columns.
+
+    Section 6.4: "we start with the projection of the 1GB TPC-H lineitem
+    relation on its 12 non-floating-point columns, and widen it by
+    repeating all 12 columns."  Repeated columns get a ``__rep<i>``
+    suffix; their data is identical to the original (so their pairwise
+    unions are small, exactly as in the paper's setup).
+    """
+    base_columns = list(table.column_names)
+    if n_columns < len(base_columns):
+        return table.project(base_columns[:n_columns], name=name)
+    data = {column: table[column] for column in base_columns}
+    repetition = 1
+    while len(data) < n_columns:
+        for column in base_columns:
+            if len(data) >= n_columns:
+                break
+            data[f"{column}__rep{repetition}"] = table[column]
+        repetition += 1
+    return Table.wrap(name or f"{table.name}_wide{n_columns}", data)

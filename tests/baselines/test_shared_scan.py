@@ -1,0 +1,86 @@
+"""Unit tests for the shared-scan baseline."""
+
+import pytest
+
+from repro.baselines.shared_scan import plan_batches, shared_scan
+from repro.engine.catalog import Catalog
+from repro.stats.cardinality import ExactCardinalityEstimator
+from tests.conftest import brute_force_group_by, result_as_dict
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+@pytest.fixture
+def setup(random_table):
+    catalog = Catalog()
+    catalog.add_table(random_table)
+    estimator = ExactCardinalityEstimator(random_table)
+    return catalog, estimator, random_table
+
+
+class TestBatching:
+    def test_unbounded_budget_one_batch(self, setup):
+        _, estimator, _ = setup
+        queries = [fs("low"), fs("mid"), fs("high")]
+        batches = plan_batches(queries, estimator, float("inf"))
+        assert len(batches) == 1
+
+    def test_budget_respected(self, setup):
+        _, estimator, _ = setup
+        queries = [fs("low"), fs("mid"), fs("txt")]
+        budget = max(estimator.rows(q) for q in queries) + 1
+        batches = plan_batches(queries, estimator, budget)
+        for batch in batches:
+            assert sum(estimator.rows(q) for q in batch) <= budget
+
+    def test_oversized_query_gets_own_pass(self, setup):
+        _, estimator, _ = setup
+        queries = [fs("high"), fs("low")]
+        batches = plan_batches(queries, estimator, 10.0)
+        assert [fs("high")] in batches
+
+    def test_all_queries_covered(self, setup):
+        _, estimator, _ = setup
+        queries = [fs("low"), fs("mid"), fs("high"), fs("corr")]
+        batches = plan_batches(queries, estimator, 100.0)
+        flattened = [q for batch in batches for q in batch]
+        assert sorted(flattened, key=sorted) == sorted(queries, key=sorted)
+
+
+class TestExecution:
+    def test_results_correct(self, setup):
+        catalog, estimator, table = setup
+        queries = [fs("low"), fs("mid"), fs("low", "mid")]
+        run = shared_scan(catalog, "r", queries, estimator)
+        for query in queries:
+            keys = sorted(query)
+            assert result_as_dict(
+                run.results[query], keys
+            ) == brute_force_group_by(table, keys)
+
+    def test_one_pass_when_unbounded(self, setup):
+        catalog, estimator, _ = setup
+        run = shared_scan(
+            catalog, "r", [fs("low"), fs("mid"), fs("txt")], estimator
+        )
+        assert run.passes == 1
+        # One scan's bytes, not three.
+        assert run.metrics.bytes_scanned == catalog.get("r").size_bytes()
+
+    def test_tight_budget_degrades_to_naive_passes(self, setup):
+        catalog, estimator, _ = setup
+        queries = [fs("low"), fs("mid"), fs("txt")]
+        run = shared_scan(catalog, "r", queries, estimator, group_budget=1.0)
+        assert run.passes == 3
+
+    def test_scan_bytes_scale_with_passes(self, setup):
+        catalog, estimator, _ = setup
+        queries = [fs("low"), fs("mid"), fs("high"), fs("corr")]
+        wide = shared_scan(catalog, "r", queries, estimator)
+        narrow = shared_scan(
+            catalog, "r", queries, estimator, group_budget=100.0
+        )
+        assert narrow.passes > wide.passes
+        assert narrow.metrics.bytes_scanned > wide.metrics.bytes_scanned

@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic tables and sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.engine.table import Table
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    """An 12-row table with known group structure."""
+    return Table(
+        "t",
+        {
+            "a": [1, 1, 2, 2, 3, 3, 1, 2, 3, 1, 2, 3],
+            "b": ["x", "y", "x", "y", "x", "y", "x", "y", "x", "y", "x", "y"],
+            "c": [10, 10, 20, 20, 30, 30, 10, 20, 30, 40, 40, 40],
+            "v": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 1.5, 2.5, 3.5],
+        },
+    )
+
+
+@pytest.fixture
+def random_table() -> Table:
+    """A 5,000-row table with mixed cardinalities and correlations."""
+    rng = np.random.default_rng(0)
+    n = 5_000
+    high = rng.integers(0, n // 2, n)
+    mid = rng.integers(0, 60, n)
+    return Table(
+        "r",
+        {
+            "high": high,
+            "mid": mid,
+            "low": rng.integers(0, 5, n),
+            "corr": mid // 3,  # functionally dependent on mid
+            "txt": rng.choice(np.array(["ok", "bad", "meh", "n/a"]), n),
+            "shadow": high % 97,
+        },
+    )
+
+
+@pytest.fixture
+def session(random_table) -> Session:
+    random_table.build_dictionaries()
+    return Session.for_table(random_table, statistics="exact")
+
+
+def brute_force_group_by(table: Table, keys, agg="count", column=None):
+    """Reference implementation: python dict over row tuples."""
+    groups: dict[tuple, list] = {}
+    key_arrays = [table[k] for k in keys]
+    value = table[column] if column is not None else None
+    for i in range(table.num_rows):
+        key = tuple(a[i].item() for a in key_arrays)
+        groups.setdefault(key, []).append(
+            value[i].item() if value is not None else 1
+        )
+    reducer = {
+        "count": len,
+        "sum": sum,
+        "min": min,
+        "max": max,
+        "avg": lambda vals: sum(vals) / len(vals),
+    }[agg]
+    return {key: reducer(vals) for key, vals in groups.items()}
+
+
+def result_as_dict(result_table: Table, keys, alias="cnt"):
+    """Turn a group-by result table into {key_tuple: aggregate}."""
+    out = {}
+    key_arrays = [result_table[k] for k in keys]
+    agg = result_table[alias]
+    for i in range(result_table.num_rows):
+        out[tuple(a[i].item() for a in key_arrays)] = agg[i].item()
+    return out

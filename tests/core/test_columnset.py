@@ -1,0 +1,54 @@
+"""Unit tests for column sets and the bitmask codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.columnset import BitsetCodec, column_set, format_columns
+
+
+class TestColumnSet:
+    def test_varargs(self):
+        assert column_set("a", "c") == frozenset(["a", "c"])
+
+    def test_iterable_flattening(self):
+        assert column_set(["a", "b"], "c") == frozenset(["a", "b", "c"])
+
+    def test_format_sorted(self):
+        assert format_columns(["c", "a"]) == "(a,c)"
+
+    def test_format_empty(self):
+        assert format_columns([]) == "()"
+
+
+class TestBitsetCodec:
+    def test_roundtrip(self):
+        codec = BitsetCodec(["b", "a", "c"])
+        mask = codec.encode(["a", "c"])
+        assert codec.decode(mask) == frozenset(["a", "c"])
+
+    def test_unknown_column(self):
+        codec = BitsetCodec(["a"])
+        with pytest.raises(KeyError):
+            codec.encode(["zz"])
+
+    def test_subset_semantics(self):
+        codec = BitsetCodec(["a", "b", "c"])
+        ab = codec.encode(["a", "b"])
+        a = codec.encode(["a"])
+        assert BitsetCodec.is_subset(a, ab)
+        assert not BitsetCodec.is_subset(ab, a)
+        assert BitsetCodec.is_strict_subset(a, ab)
+        assert not BitsetCodec.is_strict_subset(ab, ab)
+
+    @given(
+        sets=st.lists(
+            st.frozensets(st.sampled_from("abcdefg")), min_size=2, max_size=2
+        )
+    )
+    def test_mask_ops_match_set_ops(self, sets):
+        codec = BitsetCodec(list("abcdefg"))
+        s1, s2 = sets
+        m1, m2 = codec.encode(s1), codec.encode(s2)
+        assert codec.decode(m1 | m2) == s1 | s2
+        assert codec.decode(m1 & m2) == s1 & s2
+        assert BitsetCodec.is_subset(m1, m2) == (s1 <= s2)

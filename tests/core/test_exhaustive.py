@@ -1,0 +1,119 @@
+"""Unit + property tests for the exhaustive optimal planner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exhaustive import ExhaustiveSearchError, optimal_plan
+from repro.core.optimizer import GbMqoOptimizer, OptimizerOptions
+from repro.costmodel.base import PlanCoster
+from repro.costmodel.cardinality import CardinalityCostModel
+from tests.core.support import FakeEstimator
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+def coster_for(base, singles, overrides=None):
+    return PlanCoster(
+        CardinalityCostModel(FakeEstimator(base, singles, overrides))
+    )
+
+
+class TestBasics:
+    def test_single_query(self):
+        coster = coster_for(100, {"a": 5})
+        result = optimal_plan("R", [fs("a")], coster)
+        assert result.cost == 100
+        result.plan.validate()
+
+    def test_profitable_merge_found(self):
+        coster = coster_for(1000, {"a": 5, "b": 5})
+        result = optimal_plan("R", [fs("a"), fs("b")], coster)
+        assert result.cost == 1000 + 2 * 25
+
+    def test_unprofitable_merge_avoided(self):
+        coster = coster_for(1000, {"a": 900, "b": 900})
+        result = optimal_plan("R", [fs("a"), fs("b")], coster)
+        assert result.cost == 2000
+
+    def test_required_superset_used_as_parent(self):
+        coster = coster_for(1000, {"a": 10, "b": 10})
+        result = optimal_plan("R", [fs("a"), fs("a", "b")], coster)
+        # (a,b) materialized once (it is required), (a) computed from it.
+        assert result.cost == 1000 + 100
+        root = result.plan.subplans[0]
+        assert root.required and root.node.columns == fs("a", "b")
+
+    def test_empty_input_rejected(self):
+        coster = coster_for(10, {"a": 2})
+        with pytest.raises(ExhaustiveSearchError):
+            optimal_plan("R", [], coster)
+
+    def test_size_guard(self):
+        singles = {f"c{i}": 2.0 for i in range(20)}
+        coster = coster_for(1000, singles)
+        with pytest.raises(ExhaustiveSearchError):
+            optimal_plan(
+                "R", [fs(c) for c in singles], coster, max_queries=10
+            )
+
+    def test_deep_nesting_found(self):
+        # Chain cardinalities reward nested intermediates:
+        # R(1e6) -> (a,b,c,d)(1000) -> (a,b)(50) -> (a),(b); etc.
+        singles = {"a": 5, "b": 10, "c": 4, "d": 25}
+        overrides = {
+            fs("a", "b", "c", "d"): 1000.0,
+            fs("a", "b"): 50.0,
+            fs("c", "d"): 100.0,
+        }
+        coster = coster_for(1_000_000, singles, overrides)
+        result = optimal_plan(
+            "R", [fs("a"), fs("b"), fs("c"), fs("d")], coster
+        )
+        # Expected optimum: one sub-plan rooted at (a,b,c,d) with nested
+        # (a,b) and (c,d): 1e6 + 2*1000 (abcd->ab, abcd->cd)
+        # + 2*50 + 2*100.
+        assert result.cost == 1_000_000 + 2_000 + 100 + 200
+        result.plan.validate()
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(2, 5))
+    base = draw(st.integers(100, 50_000))
+    singles = {
+        f"c{i}": float(draw(st.integers(2, base))) for i in range(n)
+    }
+    return base, singles
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=instances())
+def test_exhaustive_never_worse_than_hill_climbing(instance):
+    """The DP's space contains the hill climber's space, so its optimum
+    is a lower bound on any plan the hill climber can return."""
+    base, singles = instance
+    estimator = FakeEstimator(base, singles)
+    coster = PlanCoster(CardinalityCostModel(estimator))
+    queries = [frozenset([c]) for c in singles]
+    exhaustive = optimal_plan("R", queries, coster)
+    for options in (
+        OptimizerOptions(),
+        OptimizerOptions(binary_tree_only=True),
+    ):
+        hill = GbMqoOptimizer(
+            PlanCoster(CardinalityCostModel(estimator)), options
+        ).optimize("R", queries)
+        assert exhaustive.cost <= hill.cost + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=instances())
+def test_exhaustive_plan_is_valid(instance):
+    base, singles = instance
+    coster = coster_for(base, singles)
+    queries = [frozenset([c]) for c in singles]
+    result = optimal_plan("R", queries, coster)
+    result.plan.validate()
+    assert result.plan.answered_queries() == set(queries)

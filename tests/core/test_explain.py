@@ -1,0 +1,76 @@
+"""Unit tests for plan EXPLAIN."""
+
+import pytest
+
+from repro.api import Session
+from repro.core.explain import explain_plan
+from repro.workloads.queries import single_column_queries
+
+
+@pytest.fixture
+def explained(random_table):
+    session = Session.for_table(random_table, statistics="exact")
+    queries = single_column_queries(["low", "mid", "corr", "high"])
+    result = session.optimize(queries)
+    return session, result, session.explain(result.plan)
+
+
+class TestExplain:
+    def test_every_node_listed(self, explained):
+        _, result, explanation = explained
+        assert len(explanation.nodes) == result.plan.node_count()
+
+    def test_total_matches_optimizer_cost(self, explained):
+        _, result, explanation = explained
+        assert explanation.total_cost == pytest.approx(result.cost)
+
+    def test_estimates_positive(self, explained):
+        _, _, explanation = explained
+        for node in explanation.nodes:
+            assert node.est_rows >= 1
+            assert node.est_width > 0
+            assert node.edge_cost > 0
+
+    def test_render_shape(self, explained, random_table):
+        _, _, explanation = explained
+        text = explanation.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("r  rows=")
+        assert lines[-1].startswith("total estimated cost:")
+        assert any("[spool" in line for line in lines) or all(
+            "spool" not in line for line in lines
+        )
+
+    def test_required_flagged(self, explained):
+        _, result, explanation = explained
+        required_labels = {
+            s.node.describe()
+            for s in result.plan.iter_subplans()
+            if s.required
+        }
+        flagged = {n.label for n in explanation.nodes if n.required}
+        assert required_labels <= flagged
+
+    def test_depths_follow_tree(self, explained):
+        _, _, explanation = explained
+        assert explanation.nodes[0].depth == 1
+        assert max(n.depth for n in explanation.nodes) >= 1
+
+
+def test_explain_via_cli(tmp_path, capsys):
+    import numpy as np
+
+    from repro.cli import main
+    from repro.engine.csv_io import save_csv
+    from repro.engine.table import Table
+
+    rng = np.random.default_rng(0)
+    table = Table(
+        "d", {"a": rng.integers(0, 3, 500), "b": rng.integers(0, 4, 500)}
+    )
+    path = tmp_path / "d.csv"
+    save_csv(table, path)
+    assert main(["plan", str(path), "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "-- EXPLAIN --" in out
+    assert "total estimated cost:" in out

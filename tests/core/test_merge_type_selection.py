@@ -1,0 +1,151 @@
+"""The optimizer must pick the *right* SubPlanMerge type (Figure 4).
+
+Section 4.1 describes when each shape wins: (a) when neither operand
+root is worth keeping, (b) when both are, (c)/(d) when exactly one is.
+These tests build cardinality landscapes that make each shape uniquely
+optimal and verify the hill climber lands on it.
+"""
+
+import pytest
+
+from repro.core.optimizer import GbMqoOptimizer, OptimizerOptions
+from repro.costmodel.base import PlanCoster
+from repro.costmodel.cardinality import CardinalityCostModel
+from tests.core.support import FakeEstimator
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+def optimize(estimator, queries, **options):
+    coster = PlanCoster(CardinalityCostModel(estimator))
+    optimizer = GbMqoOptimizer(coster, OptimizerOptions(**options))
+    return optimizer.optimize("R", queries)
+
+
+def shape_of(plan):
+    """Summarize the forest: {root columns -> children column sets}."""
+    return {
+        subplan.node.columns: {
+            child.node.columns for child in subplan.children
+        }
+        for subplan in plan.subplans
+    }
+
+
+class TestTypeASkipsUselessIntermediates:
+    def test_elide_both_intermediate_roots(self):
+        """Four tiny queries: merging pairwise creates intermediates
+        (a,b) and (c,d); when the union (a,b,c,d) is scarcely larger
+        than either, type (a) (computing all four directly from the
+        union) beats keeping the pair nodes."""
+        estimator = FakeEstimator(
+            100_000,
+            {"a": 4, "b": 4, "c": 4, "d": 4},
+            {
+                fs("a", "b"): 16.0,
+                fs("c", "d"): 16.0,
+                fs("a", "b", "c", "d"): 18.0,  # barely above the pairs
+            },
+        )
+        result = optimize(
+            estimator, [fs("a"), fs("b"), fs("c"), fs("d")]
+        )
+        shape = shape_of(result.plan)
+        assert shape == {
+            fs("a", "b", "c", "d"): {fs("a"), fs("b"), fs("c"), fs("d")}
+        }
+
+    def test_keep_pairs_when_union_expensive(self):
+        """Type (b): pair nodes much smaller than any wider union are
+        kept as staging tables and nothing wider appears.  Any superset
+        of 3+ columns costs more than half the table, so merging beyond
+        pairs can never pay under the cardinality model."""
+        wide = 90_000.0
+        columns = ("a", "b", "c", "d")
+        overrides = {}
+        from itertools import combinations
+
+        for size in (2, 3, 4):
+            for combo in combinations(columns, size):
+                overrides[fs(*combo)] = 16.0 if size == 2 else wide
+        estimator = FakeEstimator(
+            100_000, {c: 4 for c in columns}, overrides
+        )
+        result = optimize(estimator, [fs(c) for c in columns])
+        shape = shape_of(result.plan)
+        assert all(len(root) == 2 for root in shape)
+        assert len(shape) == 2
+
+    def test_type_c_keeps_exactly_one_operand(self):
+        """One operand root tiny (worth keeping), the other nearly the
+        union size (worthless): type (c) — the union adopts the big
+        operand's children directly while the small sub-plan survives."""
+        estimator = FakeEstimator(
+            1_000_000,
+            {"a": 3, "b": 3, "c": 300, "d": 300},
+            {
+                fs("a", "b"): 10.0,               # tiny: keep
+                fs("c", "d"): 400_000.0,          # near-union: drop
+                fs("a", "c"): 400_075.0,
+                fs("a", "d"): 400_075.0,
+                fs("b", "c"): 400_075.0,
+                fs("b", "d"): 400_075.0,
+                fs("a", "b", "c"): 400_050.0,
+                fs("a", "b", "d"): 400_050.0,
+                fs("a", "c", "d"): 400_075.0,
+                fs("b", "c", "d"): 400_075.0,
+                fs("a", "b", "c", "d"): 400_100.0,
+            },
+        )
+        result = optimize(
+            estimator, [fs("a"), fs("b"), fs("c"), fs("d")]
+        )
+        shape = shape_of(result.plan)
+        children = shape[fs("a", "b", "c", "d")]
+        # (a,b) survives as a nested staging node; (c,d) was elided and
+        # its children hang off the union — the Figure 4(c) shape.
+        assert fs("a", "b") in children
+        assert fs("c", "d") not in children
+        assert fs("c") in children and fs("d") in children
+
+    def test_binary_restriction_blocks_type_a(self):
+        """With type (b) only, the useless intermediates must stay."""
+        estimator = FakeEstimator(
+            100_000,
+            {"a": 4, "b": 4, "c": 4, "d": 4},
+            {
+                fs("a", "b"): 16.0,
+                fs("c", "d"): 16.0,
+                fs("a", "b", "c", "d"): 18.0,
+            },
+        )
+        full = optimize(estimator, [fs("a"), fs("b"), fs("c"), fs("d")])
+        binary = optimize(
+            estimator,
+            [fs("a"), fs("b"), fs("c"), fs("d")],
+            binary_tree_only=True,
+        )
+        assert full.cost <= binary.cost
+
+
+class TestRollupSelection:
+    def test_rollup_chosen_for_prefix_chain(self):
+        """Queries (a), (a,b), (a,b,c) form a ROLLUP's exact output;
+        with the extension enabled, one ROLLUP node should beat the
+        three-node Group By chain whenever its extra prefix work is
+        cheaper than the chain's materializations."""
+        estimator = FakeEstimator(
+            1_000_000,
+            {"a": 10, "b": 10, "c": 10},
+            {fs("a", "b"): 100.0, fs("a", "b", "c"): 1_000.0},
+        )
+        queries = [fs("a"), fs("a", "b"), fs("a", "b", "c")]
+        plain = optimize(estimator, queries)
+        extended = optimize(
+            estimator, queries, enable_rollup=True, enable_cube=True
+        )
+        assert extended.cost <= plain.cost
+        extended.plan.validate()
+        assert extended.plan.answered_queries() == set(queries)

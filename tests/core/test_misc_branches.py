@@ -1,0 +1,98 @@
+"""Branch-coverage tests for small paths the main suites skirt."""
+
+import pytest
+
+from repro.core.merge import MergeOptions
+from repro.core.optimizer import OptimizerOptions
+from repro.core.rewrites import (
+    GroupByExpr,
+    GroupingSetsExpr,
+    JoinExpr,
+    RelationExpr,
+    SelectExpr,
+    TagFilterExpr,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import Predicate
+from repro.engine.table import Table
+
+
+class TestOptimizerOptions:
+    def test_binary_overrides_merge_types(self):
+        options = OptimizerOptions(
+            merge_types=("a", "b", "c", "d"), binary_tree_only=True
+        )
+        assert options.merge_options().merge_types == ("b",)
+
+    def test_merge_types_passthrough(self):
+        options = OptimizerOptions(merge_types=("b", "c"))
+        assert options.merge_options().merge_types == ("b", "c")
+
+    def test_cube_knobs_forwarded(self):
+        options = OptimizerOptions(enable_cube=True, cube_max_columns=3)
+        merged = options.merge_options()
+        assert merged.enable_cube and merged.cube_max_columns == 3
+
+    def test_options_hashable_for_plan_cache(self):
+        assert hash(OptimizerOptions()) == hash(OptimizerOptions())
+        assert OptimizerOptions() != OptimizerOptions(binary_tree_only=True)
+
+
+class TestMergeOptionsDefaults:
+    def test_defaults(self):
+        options = MergeOptions()
+        assert options.merge_types == ("a", "b", "c", "d")
+        assert not options.enable_cube
+
+
+class TestRewriteDescriptions:
+    def test_describe_compositions(self):
+        expr = SelectExpr(
+            GroupingSetsExpr(RelationExpr("t"), (("a",), ("b",))),
+            (Predicate("a", ">", 1),),
+        )
+        text = expr.describe()
+        assert "Select[a > 1]" in text
+        assert "GroupingSets[(a), (b)](t)" in text
+
+    def test_join_and_tag_filter_describe(self):
+        join = JoinExpr(RelationExpr("l"), RelationExpr("r"), (("x", "y"),))
+        assert join.describe() == "Join[x=y](l, r)"
+        tagged = TagFilterExpr(join, "a")
+        assert tagged.describe().startswith("TagFilter[a]")
+
+    def test_group_by_describe(self):
+        expr = GroupByExpr(RelationExpr("t"), ("a", "b"))
+        assert expr.describe() == "GroupBy(a,b)(t)"
+
+
+class TestGroupingSetsCountColumn:
+    def test_partial_counts_summed(self):
+        catalog = Catalog()
+        catalog.add_table(
+            Table("t", {"a": [1, 1, 2], "b": [1, 2, 1]})
+        )
+        # Pre-aggregate to (a, b) with partial counts, then GROUPING
+        # SETS over the partial result using SUM(cnt).
+        inner = GroupByExpr(RelationExpr("t"), ("a", "b"))
+        catalog.add_table(inner.evaluate(catalog).rename("partial"))
+        expr = GroupingSetsExpr(
+            RelationExpr("partial"), (("a",),), count_column="cnt"
+        )
+        result = expr.evaluate(catalog)
+        got = {
+            int(result["a"][i]): int(result["cnt"][i])
+            for i in range(result.num_rows)
+        }
+        assert got == {1: 2, 2: 1}
+
+
+class TestTableIteration:
+    def test_iter_rows(self, tiny_table):
+        rows = list(tiny_table.iter_rows())
+        assert len(rows) == 12
+        assert rows[0] == tiny_table.to_rows()[0]
+
+    def test_to_rows_subset(self, tiny_table):
+        rows = tiny_table.to_rows(["a", "b"])
+        assert rows[0] == (1, "x")

@@ -1,0 +1,133 @@
+"""Unit tests for logical plans and sub-plans."""
+
+import pytest
+
+from repro.core.plan import (
+    LogicalPlan,
+    NodeKind,
+    PlanError,
+    PlanNode,
+    SubPlan,
+    naive_plan,
+)
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+class TestPlanNode:
+    def test_empty_columns_rejected(self):
+        with pytest.raises(PlanError):
+            PlanNode(frozenset())
+
+    def test_group_by_answers_exactly_itself(self):
+        node = PlanNode(fs("a", "b"))
+        assert node.answers(fs("a", "b"))
+        assert not node.answers(fs("a"))
+
+    def test_cube_answers_subsets(self):
+        node = PlanNode(fs("a", "b"), NodeKind.CUBE)
+        assert node.answers(fs("a"))
+        assert node.answers(fs("a", "b"))
+        assert not node.answers(fs("c"))
+
+    def test_rollup_answers_prefixes(self):
+        node = PlanNode(fs("a", "b"), NodeKind.ROLLUP, ("a", "b"))
+        assert node.answers(fs("a"))
+        assert node.answers(fs("a", "b"))
+        assert not node.answers(fs("b"))
+
+    def test_rollup_order_must_match(self):
+        with pytest.raises(PlanError):
+            PlanNode(fs("a", "b"), NodeKind.ROLLUP, ("a",))
+
+    def test_describe(self):
+        assert PlanNode(fs("b", "a")).describe() == "(a,b)"
+        assert PlanNode(fs("a"), NodeKind.CUBE).describe() == "CUBE(a)"
+
+
+class TestSubPlan:
+    def test_child_must_be_strict_subset(self):
+        with pytest.raises(PlanError):
+            SubPlan(PlanNode(fs("a")), (SubPlan.leaf(fs("a")),))
+
+    def test_direct_answers_checked(self):
+        with pytest.raises(PlanError):
+            SubPlan(PlanNode(fs("a")), (), direct_answers=frozenset([fs("b")]))
+
+    def test_materialized_iff_children(self):
+        leaf = SubPlan.leaf(fs("a"))
+        assert not leaf.is_materialized
+        parent = SubPlan(PlanNode(fs("a", "b")), (leaf,))
+        assert parent.is_materialized
+
+    def test_answered_queries(self):
+        inner = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+        assert inner.answered_queries() == {fs("a")}
+
+    def test_iter_edges(self):
+        leaf_a, leaf_b = SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"))
+        root = SubPlan(PlanNode(fs("a", "b")), (leaf_a, leaf_b))
+        edges = list(root.iter_edges())
+        assert (root, leaf_a) in edges and (root, leaf_b) in edges
+
+    def test_node_count(self):
+        root = SubPlan(
+            PlanNode(fs("a", "b")),
+            (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"))),
+        )
+        assert root.node_count() == 3
+
+    def test_render_marks_required_and_spool(self):
+        root = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+        text = root.render()
+        assert "[spool]" in text
+        assert "(a)*" in text
+
+
+class TestLogicalPlan:
+    def test_naive_plan_all_leaves(self):
+        plan = naive_plan("R", [fs("a"), fs("b")])
+        assert all(not s.children for s in plan.subplans)
+        plan.validate()
+
+    def test_naive_plan_dedupes(self):
+        plan = naive_plan("R", [fs("a"), fs("a")])
+        assert len(plan.subplans) == 1
+
+    def test_validate_missing_query(self):
+        plan = LogicalPlan("R", (SubPlan.leaf(fs("a")),), frozenset([fs("b")]))
+        with pytest.raises(PlanError, match="does not answer"):
+            plan.validate()
+
+    def test_validate_spurious_required(self):
+        plan = LogicalPlan("R", (SubPlan.leaf(fs("a")),), frozenset())
+        with pytest.raises(PlanError):
+            plan.validate()
+
+    def test_iter_edges_includes_root_edges(self):
+        plan = naive_plan("R", [fs("a")])
+        edges = list(plan.iter_edges())
+        assert edges[0][0] is None
+
+    def test_replace_subplans(self):
+        plan = naive_plan("R", [fs("a"), fs("b")])
+        merged = SubPlan(
+            PlanNode(fs("a", "b")),
+            tuple(plan.subplans),
+        )
+        new_plan = plan.replace_subplans(plan.subplans, [merged])
+        assert len(new_plan.subplans) == 1
+        new_plan.validate()
+
+    def test_render_tree(self):
+        plan = naive_plan("R", [fs("a"), fs("b")])
+        text = plan.render()
+        assert text.splitlines()[0] == "R"
+        assert "└──" in text
+
+    def test_materialized_nodes(self):
+        root = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+        plan = LogicalPlan("R", (root,), frozenset([fs("a")]))
+        assert plan.materialized_nodes() == [root]

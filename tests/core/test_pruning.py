@@ -1,0 +1,127 @@
+"""Unit + property tests for the pruning techniques (Section 4.3).
+
+The key properties are the paper's soundness claims: under the
+Cardinality cost model, type-(b) merges only, and non-overlapping
+(single-column) inputs, neither pruning technique changes the cost of
+the plan the algorithm finds.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import GbMqoOptimizer, OptimizerOptions
+from repro.core.pruning import MonotonicityPruner, SubsumptionPruner, minimal_masks
+from repro.costmodel.base import PlanCoster
+from repro.costmodel.cardinality import CardinalityCostModel
+from tests.core.support import FakeEstimator
+
+
+class TestMinimalMasks:
+    def test_antichain(self):
+        masks = [0b111, 0b011, 0b101, 0b001]
+        assert minimal_masks(masks) == [0b001]
+
+    def test_incomparable_kept(self):
+        masks = [0b011, 0b101, 0b110]
+        assert sorted(minimal_masks(masks)) == [0b011, 0b101, 0b110]
+
+    def test_duplicates_collapse(self):
+        assert minimal_masks([0b1, 0b1]) == [0b1]
+
+
+class TestMonotonicityPruner:
+    def test_superset_pruned(self):
+        pruner = MonotonicityPruner()
+        pruner.record_failure(0b011)
+        assert pruner.is_pruned(0b111)
+        assert not pruner.is_pruned(0b100)
+
+    def test_failed_set_stays_antichain(self):
+        pruner = MonotonicityPruner()
+        pruner.record_failure(0b011)
+        pruner.record_failure(0b111)  # superset, ignored
+        assert pruner.failed_unions == (0b011,)
+        pruner.record_failure(0b001)  # subset, replaces
+        assert pruner.failed_unions == (0b001,)
+
+    def test_exact_match_pruned(self):
+        pruner = MonotonicityPruner()
+        pruner.record_failure(0b010)
+        assert pruner.is_pruned(0b010)
+
+
+class TestSubsumptionPruner:
+    def test_strict_supersets_removed(self):
+        pruner = SubsumptionPruner()
+        allowed = pruner.allowed_unions([0b011, 0b111, 0b101])
+        assert 0b111 not in allowed
+        assert 0b011 in allowed and 0b101 in allowed
+
+    def test_equal_unions_allowed(self):
+        pruner = SubsumptionPruner()
+        allowed = pruner.allowed_unions([0b011, 0b011])
+        assert allowed == {0b011}
+
+
+# -- the paper's soundness claims, as properties ----------------------------
+
+
+@st.composite
+def single_column_instances(draw):
+    n = draw(st.integers(3, 7))
+    base = draw(st.integers(1_000, 100_000))
+    cards = [
+        draw(st.integers(2, max(2, base // draw(st.integers(2, 50)))))
+        for _ in range(n)
+    ]
+    singles = {f"c{i}": float(card) for i, card in enumerate(cards)}
+    return base, singles
+
+
+def optimize_with(base, singles, **pruning_flags):
+    estimator = FakeEstimator(base, singles)
+    coster = PlanCoster(CardinalityCostModel(estimator))
+    options = OptimizerOptions(binary_tree_only=True, **pruning_flags)
+    optimizer = GbMqoOptimizer(coster, options)
+    queries = [frozenset([c]) for c in singles]
+    return optimizer.optimize("R", queries)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=single_column_instances())
+def test_subsumption_pruning_sound(instance):
+    base, singles = instance
+    plain = optimize_with(base, singles)
+    pruned = optimize_with(base, singles, subsumption_pruning=True)
+    assert pruned.cost == pytest.approx(plain.cost)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=single_column_instances())
+def test_monotonicity_pruning_sound(instance):
+    base, singles = instance
+    plain = optimize_with(base, singles)
+    pruned = optimize_with(base, singles, monotonicity_pruning=True)
+    assert pruned.cost == pytest.approx(plain.cost)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=single_column_instances())
+def test_combined_pruning_sound(instance):
+    base, singles = instance
+    plain = optimize_with(base, singles)
+    pruned = optimize_with(
+        base, singles, subsumption_pruning=True, monotonicity_pruning=True
+    )
+    assert pruned.cost == pytest.approx(plain.cost)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance=single_column_instances())
+def test_pruning_never_increases_calls(instance):
+    base, singles = instance
+    plain = optimize_with(base, singles)
+    pruned = optimize_with(
+        base, singles, subsumption_pruning=True, monotonicity_pruning=True
+    )
+    assert pruned.optimizer_calls <= plain.optimizer_calls

@@ -1,0 +1,143 @@
+"""Unit tests for plan schedules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import LogicalPlan, PlanNode, SubPlan, naive_plan
+from repro.core.scheduling import (
+    depth_first_schedule,
+    peak_storage_of_schedule,
+    storage_minimizing_schedule,
+)
+from repro.core.storage import min_intermediate_storage
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+def sample_plan():
+    ab = SubPlan(
+        PlanNode(fs("a", "b")),
+        (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"))),
+    )
+    return LogicalPlan("R", (ab, SubPlan.leaf(fs("c"))), frozenset(
+        [fs("a"), fs("b"), fs("c")]
+    ))
+
+
+def schedule_invariants(steps):
+    """Every schedule must satisfy these regardless of strategy."""
+    live = set()
+    computed = set()
+    for step in steps:
+        if step.action == "compute":
+            if step.parent is not None:
+                assert step.parent in live, "parent dropped too early"
+            computed.add(step.node)
+            if step.materialize:
+                live.add(step.node)
+        else:
+            assert step.node in live
+            live.discard(step.node)
+    assert not live, "some temps never dropped"
+    return computed
+
+
+class TestDepthFirst:
+    def test_invariants(self):
+        steps = depth_first_schedule(sample_plan())
+        computed = schedule_invariants(steps)
+        assert len(computed) == 4
+
+    def test_compute_counts(self):
+        steps = depth_first_schedule(sample_plan())
+        computes = [s for s in steps if s.action == "compute"]
+        drops = [s for s in steps if s.action == "drop"]
+        assert len(computes) == 4
+        assert len(drops) == 1
+
+    def test_describe(self):
+        steps = depth_first_schedule(sample_plan())
+        assert steps[0].describe().startswith("COMPUTE")
+        assert any(s.describe().startswith("DROP") for s in steps)
+
+
+class TestStorageMinimizing:
+    def test_invariants(self):
+        steps = storage_minimizing_schedule(sample_plan(), lambda s: 1.0 if s.is_materialized else 0.0)
+        schedule_invariants(steps)
+
+    def test_same_queries_as_depth_first(self):
+        plan = sample_plan()
+        size = lambda s: 2.0 if s.is_materialized else 0.0
+        a = {
+            (s.action, s.node)
+            for s in storage_minimizing_schedule(plan, size)
+        }
+        b = {(s.action, s.node) for s in depth_first_schedule(plan)}
+        assert a == b
+
+
+@st.composite
+def random_subplans(draw, depth=0):
+    """Random plan trees over a fixed column universe."""
+    universe = "abcdefg"
+    columns = frozenset(
+        draw(st.sets(st.sampled_from(universe), min_size=depth + 1, max_size=7))
+    )
+    if depth >= 2 or draw(st.booleans()):
+        return SubPlan.leaf(columns)
+    n_children = draw(st.integers(1, 3))
+    children = []
+    for _ in range(n_children):
+        child = draw(random_subplans(depth=depth + 1))
+        if child.node.columns < columns and all(
+            child.node.columns != c.node.columns for c in children
+        ):
+            children.append(child)
+    if not children:
+        return SubPlan.leaf(columns)
+    return SubPlan(PlanNode(columns), tuple(children), False)
+
+
+def _bf_node_has_materialized_grandchildren(subplan, size_of):
+    from repro.core.storage import mark_storage
+
+    for mark in _iter_marks(mark_storage(subplan, size_of)):
+        if mark.strategy == "BF" and any(
+            grandchild.subplan.is_materialized
+            for child in mark.children
+            for grandchild in child.children
+        ):
+            return True
+    return False
+
+
+def _iter_marks(mark):
+    yield mark
+    for child in mark.children:
+        yield from _iter_marks(child)
+
+
+@settings(max_examples=60, deadline=None)
+@given(subplan=random_subplans(), unit=st.floats(0.5, 100))
+def test_marked_schedule_vs_storage_recursion(subplan, unit):
+    """Property: the Section 4.4.1 recursion lower-bounds the achieved
+    peak, with equality whenever no BF-marked node has materialized
+    grandchildren (where the paper's formula is exact)."""
+    size_of = lambda s: unit * len(s.node.columns) if s.is_materialized else 0.0
+    plan = LogicalPlan("R", (subplan,), frozenset())
+    steps = storage_minimizing_schedule(plan, size_of)
+    schedule_invariants(steps)
+    materialized_sizes = {
+        s.node.columns: unit * len(s.node.columns)
+        for s in subplan.iter_subplans()
+        if s.is_materialized
+    }
+    peak = peak_storage_of_schedule(
+        steps, lambda node: materialized_sizes.get(node.columns, 0.0)
+    )
+    formula = min_intermediate_storage(subplan, size_of)
+    assert peak >= formula - 1e-9
+    if not _bf_node_has_materialized_grandchildren(subplan, size_of):
+        assert peak == formula

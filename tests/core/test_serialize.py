@@ -1,0 +1,110 @@
+"""Unit + property tests for plan serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.plan import (
+    LogicalPlan,
+    NodeKind,
+    PlanError,
+    PlanNode,
+    SubPlan,
+    naive_plan,
+)
+from repro.core.serialize import (
+    FORMAT_VERSION,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+)
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+def sample_plan():
+    inner = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+    rollup = SubPlan(
+        PlanNode(fs("c", "d"), NodeKind.ROLLUP, ("c", "d")),
+        (),
+        direct_answers=frozenset([fs("c")]),
+    )
+    return LogicalPlan(
+        "R",
+        (SubPlan(PlanNode(fs("a", "b", "e")), (inner,)), rollup),
+        frozenset([fs("a"), fs("c")]),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        plan = sample_plan()
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_json_round_trip(self):
+        plan = sample_plan()
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_naive_plan(self):
+        plan = naive_plan("R", [fs("x"), fs("y", "z")])
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_json_is_deterministic(self):
+        plan = sample_plan()
+        assert plan_to_json(plan) == plan_to_json(plan)
+
+    def test_kinds_survive(self):
+        restored = plan_from_dict(plan_to_dict(sample_plan()))
+        kinds = {s.node.kind for s in restored.iter_subplans()}
+        assert NodeKind.ROLLUP in kinds
+
+    def test_executes_after_round_trip(self, random_table):
+        from repro.engine.catalog import Catalog
+        from repro.engine.executor import PlanExecutor
+
+        plan = naive_plan("r", [fs("low"), fs("mid")])
+        restored = plan_from_json(plan_to_json(plan))
+        catalog = Catalog()
+        catalog.add_table(random_table)
+        run = PlanExecutor(catalog, "r").execute(restored)
+        assert set(run.results) == {fs("low"), fs("mid")}
+
+
+class TestValidation:
+    def test_version_checked(self):
+        payload = plan_to_dict(sample_plan())
+        payload["version"] = FORMAT_VERSION + 1
+        with pytest.raises(PlanError, match="version"):
+            plan_from_dict(payload)
+
+    def test_invalid_plan_rejected(self):
+        payload = {
+            "version": FORMAT_VERSION,
+            "relation": "R",
+            "required": [["missing"]],
+            "subplans": [],
+        }
+        with pytest.raises(PlanError):
+            plan_from_dict(payload)
+
+
+@st.composite
+def random_plans(draw):
+    columns = list("abcdef")
+    n = draw(st.integers(1, 4))
+    queries = draw(
+        st.sets(
+            st.frozensets(st.sampled_from(columns), min_size=1, max_size=3),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return naive_plan("R", list(queries))
+
+
+@settings(max_examples=40, deadline=None)
+@given(plan=random_plans())
+def test_round_trip_property(plan):
+    assert plan_from_json(plan_to_json(plan)) == plan

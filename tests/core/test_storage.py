@@ -1,0 +1,142 @@
+"""Unit tests for intermediate-storage analysis (Section 4.4).
+
+Includes the paper's own Figure 6 example, where breadth-first at the
+root gives peak 18 while depth-first would give 20.
+"""
+
+import pytest
+
+from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+from repro.core.scheduling import (
+    depth_first_schedule,
+    peak_storage_of_schedule,
+    storage_minimizing_schedule,
+)
+from repro.core.storage import (
+    estimator_size_fn,
+    mark_storage,
+    min_intermediate_storage,
+    plan_min_storage,
+)
+from tests.core.support import FakeEstimator
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+def figure6_subplan():
+    """The exact sub-tree of Figure 6 (storage numbers in d())."""
+    ab = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+    bc = SubPlan.leaf(fs("b", "c"))
+    ac = SubPlan.leaf(fs("a", "c"))
+    abc = SubPlan(PlanNode(fs("a", "b", "c")), (ab, bc, ac))
+    bd = SubPlan.leaf(fs("b", "d"))
+    cd = SubPlan.leaf(fs("c", "d"))
+    bcd = SubPlan(PlanNode(fs("b", "c", "d")), (bd, cd))
+    return SubPlan(PlanNode(fs("a", "b", "c", "d")), (abc, bcd))
+
+
+FIG6_SIZES = {
+    fs("a", "b", "c", "d"): 10.0,
+    fs("a", "b", "c"): 6.0,
+    fs("b", "c", "d"): 2.0,
+    fs("a", "b"): 4.0,
+}
+
+
+def fig6_size(subplan):
+    if not subplan.is_materialized:
+        return 0.0
+    return FIG6_SIZES[subplan.node.columns]
+
+
+class TestFigure6:
+    def test_paper_example_storage(self):
+        """Breadth-first at the root yields 18 (10 + 6 + 2), beating the
+        depth-first 20 (10 + 6 + 4) — the numbers in Section 4.4.1."""
+        root = figure6_subplan()
+        assert min_intermediate_storage(root, fig6_size) == 18.0
+
+    def test_root_marked_breadth_first(self):
+        mark = mark_storage(figure6_subplan(), fig6_size)
+        assert mark.strategy == "BF"
+
+    def test_abc_subtree_storage(self):
+        """Storage(abc) = 6 + 4 = 10 either way."""
+        root = figure6_subplan()
+        abc = root.children[0]
+        assert min_intermediate_storage(abc, fig6_size) == 10.0
+
+    def test_schedule_achieves_marked_peak(self):
+        root = figure6_subplan()
+        plan = LogicalPlan(
+            "R",
+            (root,),
+            frozenset(
+                s.node.columns
+                for s in root.iter_subplans()
+                if not s.children
+            ),
+        )
+        # required flags not set on leaves here; build directly.
+        steps = storage_minimizing_schedule(plan, fig6_size)
+        peak = peak_storage_of_schedule(
+            steps, lambda node: FIG6_SIZES.get(node.columns, 0.0)
+        )
+        assert peak == 18.0
+
+    def test_depth_first_schedule_is_worse_here(self):
+        root = figure6_subplan()
+        plan = LogicalPlan("R", (root,), frozenset())
+        steps = depth_first_schedule(plan)
+        peak = peak_storage_of_schedule(
+            steps, lambda node: FIG6_SIZES.get(node.columns, 0.0)
+        )
+        assert peak == 20.0
+
+
+class TestRecursion:
+    def test_leaf_storage_zero(self):
+        assert min_intermediate_storage(SubPlan.leaf(fs("a")), fig6_size) == 0.0
+
+    def test_depth_first_better_for_deep_chains(self):
+        # chain a.b.c -> a.b -> a: DF keeps one temp pair at a time.
+        inner = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+        root = SubPlan(PlanNode(fs("a", "b", "c")), (inner,))
+        sizes = {fs("a", "b", "c"): 5.0, fs("a", "b"): 3.0}
+
+        def size(subplan):
+            return sizes.get(subplan.node.columns, 0.0) if subplan.is_materialized else 0.0
+
+        mark = mark_storage(root, size)
+        # Both strategies coincide for a single child (5 + 3); the
+        # recursion must report 8 either way.
+        assert mark.storage == 8.0
+
+    def test_plan_min_storage_is_max_over_subplans(self):
+        p1 = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+        p2 = SubPlan(PlanNode(fs("c", "d")), (SubPlan.leaf(fs("c")),))
+        sizes = {fs("a", "b"): 7.0, fs("c", "d"): 3.0}
+
+        def size(subplan):
+            return sizes.get(subplan.node.columns, 0.0) if subplan.is_materialized else 0.0
+
+        plan = LogicalPlan("R", (p1, p2), frozenset())
+        assert plan_min_storage(plan, size) == 7.0
+
+    def test_empty_plan(self):
+        assert plan_min_storage(LogicalPlan("R", (), frozenset()), fig6_size) == 0.0
+
+
+class TestEstimatorSizeFn:
+    def test_rows_times_width(self):
+        estimator = FakeEstimator(100, {"a": 5, "b": 4})
+        size = estimator_size_fn(estimator)
+        node = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+        assert size(node) == 20 * (8 * 2 + 8)
+
+    def test_leaves_free(self):
+        estimator = FakeEstimator(100, {"a": 5})
+        size = estimator_size_fn(estimator)
+        assert size(SubPlan.leaf(fs("a"))) == 0.0

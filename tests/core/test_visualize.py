@@ -1,0 +1,46 @@
+"""Unit tests for plan visualization."""
+
+from repro.core.plan import LogicalPlan, PlanNode, SubPlan, naive_plan
+from repro.core.visualize import plan_depth, plan_to_dot, plan_to_graph
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+def nested_plan():
+    inner = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+    root = SubPlan(PlanNode(fs("a", "b", "c")), (inner, SubPlan.leaf(fs("c"))))
+    return LogicalPlan("R", (root,), frozenset([fs("a"), fs("c")]))
+
+
+class TestGraph:
+    def test_node_and_edge_counts(self):
+        graph = plan_to_graph(nested_plan())
+        assert graph.number_of_nodes() == 5  # R + 4 plan nodes
+        assert graph.number_of_edges() == 4
+
+    def test_attributes(self):
+        graph = plan_to_graph(nested_plan())
+        assert graph.nodes["R"]["kind"] == "relation"
+        assert graph.nodes["(a)"]["required"]
+        assert graph.nodes["(a,b)"]["materialized"]
+        assert not graph.nodes["(c)"]["materialized"]
+
+    def test_naive_plan_is_a_star(self):
+        graph = plan_to_graph(naive_plan("R", [fs("a"), fs("b")]))
+        assert graph.out_degree("R") == 2
+        assert plan_depth(naive_plan("R", [fs("a"), fs("b")])) == 1
+
+
+class TestDot:
+    def test_dot_structure(self):
+        dot = plan_to_dot(nested_plan())
+        assert dot.startswith("digraph gbmqo {")
+        assert '"R" -> "(a,b,c)"' in dot
+        assert "shape=cylinder" in dot       # the base relation
+        assert "shape=box" in dot            # spooled intermediates
+        assert "style=bold" in dot           # required nodes
+
+    def test_depth_of_nested_plan(self):
+        assert plan_depth(nested_plan()) == 3

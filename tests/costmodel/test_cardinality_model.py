@@ -1,0 +1,103 @@
+"""Unit tests for the Cardinality cost model (Section 3.2.1)."""
+
+import pytest
+
+from repro.core.plan import (
+    LogicalPlan,
+    NodeKind,
+    PlanNode,
+    SubPlan,
+    naive_plan,
+)
+from repro.costmodel.base import PlanCoster
+from repro.costmodel.cardinality import CardinalityCostModel
+from tests.core.support import FakeEstimator
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+@pytest.fixture
+def coster():
+    estimator = FakeEstimator(
+        1000, {"a": 5, "b": 10, "c": 20}, {fs("a", "b"): 40.0}
+    )
+    return PlanCoster(CardinalityCostModel(estimator))
+
+
+class TestEdgeCosts:
+    def test_edge_from_base_costs_base_rows(self, coster):
+        assert coster.edge_cost(None, PlanNode(fs("a")), False) == 1000
+
+    def test_edge_from_intermediate_costs_its_rows(self, coster):
+        parent = PlanNode(fs("a", "b"))
+        assert coster.edge_cost(parent, PlanNode(fs("a")), False) == 40
+
+    def test_materialization_free(self, coster):
+        node = PlanNode(fs("a", "b"))
+        assert coster.edge_cost(None, node, True) == coster.edge_cost(
+            None, node, False
+        )
+
+    def test_cube_cost(self, coster):
+        # scan(parent) + (2^k - 2) * rows(top).
+        cube = PlanNode(fs("a", "b"), NodeKind.CUBE)
+        assert coster.edge_cost(None, cube, True) == 1000 + 2 * 40
+
+    def test_rollup_cost(self, coster):
+        rollup = PlanNode(fs("a", "b"), NodeKind.ROLLUP, ("a", "b"))
+        # scan(R) + rows((a,b)) for the (a) prefix.
+        assert coster.edge_cost(None, rollup, True) == 1000 + 40
+
+
+class TestPlanCosts:
+    def test_naive_plan_cost(self, coster):
+        plan = naive_plan("R", [fs("a"), fs("b"), fs("c")])
+        assert coster.plan_cost(plan) == 3000
+
+    def test_merged_plan_cost(self, coster):
+        root = SubPlan(
+            PlanNode(fs("a", "b")),
+            (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"))),
+        )
+        plan = LogicalPlan("R", (root,), frozenset([fs("a"), fs("b")]))
+        assert coster.plan_cost(plan) == 1000 + 40 + 40
+
+    def test_proof_identity(self):
+        """The identity used by both Section 4.3 soundness proofs:
+        Cost(vi) + Cost(vj) - Cost(vi ∪ vj) = |R| - 2 |vi ∪ vj|."""
+        estimator = FakeEstimator(5000, {"a": 11, "b": 13})
+        coster = PlanCoster(CardinalityCostModel(estimator))
+        cost_vi = coster.subplan_cost(SubPlan.leaf(fs("a")))
+        cost_vj = coster.subplan_cost(SubPlan.leaf(fs("b")))
+        merged = SubPlan(
+            PlanNode(fs("a", "b")),
+            (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"))),
+        )
+        cost_merged = coster.subplan_cost(merged)
+        union_rows = 11 * 13
+        assert cost_vi + cost_vj - cost_merged == 5000 - 2 * union_rows
+
+
+class TestPlanCoster:
+    def test_optimizer_calls_counted_once_per_edge(self, coster):
+        node = PlanNode(fs("a"))
+        before = coster.optimizer_calls
+        coster.edge_cost(None, node, False)
+        coster.edge_cost(None, node, False)
+        assert coster.optimizer_calls == before + 1
+
+    def test_distinct_materialization_counts_separately(self, coster):
+        node = PlanNode(fs("a"))
+        before = coster.optimizer_calls
+        coster.edge_cost(None, node, False)
+        coster.edge_cost(None, node, True)
+        assert coster.optimizer_calls == before + 2
+
+    def test_subplan_cost_cached(self, coster):
+        subplan = SubPlan.leaf(fs("a"))
+        coster.subplan_cost(subplan)
+        calls = coster.optimizer_calls
+        coster.subplan_cost(subplan)
+        assert coster.optimizer_calls == calls

@@ -1,0 +1,148 @@
+"""Unit tests for the catalog: temp accounting and indexes."""
+
+import pytest
+
+from repro.engine.catalog import Catalog, CatalogError
+from repro.engine.indexes import IndexSpec
+from repro.engine.table import Table
+from repro.engine.types import SchemaError
+
+
+@pytest.fixture
+def catalog(tiny_table):
+    cat = Catalog()
+    cat.add_table(tiny_table)
+    return cat
+
+
+def temp(name, rows=4):
+    return Table(name, {"k": list(range(rows)), "cnt": [1] * rows})
+
+
+class TestTables:
+    def test_add_get(self, catalog, tiny_table):
+        assert catalog.get("t") is tiny_table
+        assert "t" in catalog
+
+    def test_duplicate_rejected(self, catalog, tiny_table):
+        with pytest.raises(CatalogError):
+            catalog.add_table(tiny_table)
+
+    def test_missing_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get("zz")
+
+    def test_drop_base(self, catalog):
+        catalog.drop("t")
+        assert "t" not in catalog
+
+    def test_drop_missing(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop("zz")
+
+
+class TestTempAccounting:
+    def test_materialize_meters_storage(self, catalog):
+        table = temp("tmp1")
+        catalog.materialize_temp(table)
+        assert catalog.current_temp_bytes == table.size_bytes()
+        assert catalog.peak_temp_bytes == table.size_bytes()
+
+    def test_drop_releases(self, catalog):
+        catalog.materialize_temp(temp("tmp1"))
+        catalog.drop_temp("tmp1")
+        assert catalog.current_temp_bytes == 0
+        assert catalog.peak_temp_bytes > 0  # peak remembered
+
+    def test_peak_tracks_concurrent_temps(self, catalog):
+        t1, t2 = temp("tmp1", 10), temp("tmp2", 20)
+        catalog.materialize_temp(t1)
+        catalog.materialize_temp(t2)
+        expected_peak = t1.size_bytes() + t2.size_bytes()
+        catalog.drop_temp("tmp1")
+        catalog.drop_temp("tmp2")
+        assert catalog.peak_temp_bytes == expected_peak
+
+    def test_total_written_accumulates(self, catalog):
+        catalog.materialize_temp(temp("tmp1"))
+        catalog.drop_temp("tmp1")
+        catalog.materialize_temp(temp("tmp2"))
+        catalog.drop_temp("tmp2")
+        assert catalog.total_temp_bytes_written == 2 * temp("x").size_bytes()
+
+    def test_drop_non_temp_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop_temp("t")
+
+    def test_drop_all(self, catalog):
+        catalog.materialize_temp(temp("tmp1"))
+        catalog.materialize_temp(temp("tmp2"))
+        catalog.drop_all_temps()
+        assert catalog.temp_names() == ()
+
+    def test_reset_meter_requires_empty(self, catalog):
+        catalog.materialize_temp(temp("tmp1"))
+        with pytest.raises(CatalogError):
+            catalog.reset_storage_meter()
+        catalog.drop_temp("tmp1")
+        catalog.reset_storage_meter()
+        assert catalog.peak_temp_bytes == 0
+
+    def test_duplicate_temp_name_rejected(self, catalog):
+        catalog.materialize_temp(temp("tmp1"))
+        with pytest.raises(CatalogError):
+            catalog.materialize_temp(temp("tmp1"))
+
+
+class TestIndexes:
+    def test_create_and_find_covering(self, catalog):
+        catalog.create_index("t", IndexSpec("ix_a", ("a",)))
+        index = catalog.find_covering_index("t", ["a"])
+        assert index is not None and index.name == "ix_a"
+
+    def test_covering_requires_subset(self, catalog):
+        catalog.create_index("t", IndexSpec("ix_a", ("a",)))
+        assert catalog.find_covering_index("t", ["a", "b"]) is None
+
+    def test_cheapest_covering_chosen(self, catalog):
+        catalog.create_index("t", IndexSpec("ix_ab", ("a", "b")))
+        catalog.create_index("t", IndexSpec("ix_a", ("a",)))
+        index = catalog.find_covering_index("t", ["a"])
+        assert index.name == "ix_a"
+
+    def test_clustered_not_covering(self, catalog):
+        catalog.create_index("t", IndexSpec("cl", ("a",), clustered=True))
+        assert catalog.find_covering_index("t", ["a"]) is None
+
+    def test_clustered_sorts_base(self, catalog):
+        catalog.create_index("t", IndexSpec("cl", ("a",), clustered=True))
+        a = catalog.get("t")["a"]
+        assert all(a[i] <= a[i + 1] for i in range(len(a) - 1))
+
+    def test_single_clustered_only(self, catalog):
+        catalog.create_index("t", IndexSpec("cl", ("a",), clustered=True))
+        with pytest.raises(CatalogError):
+            catalog.create_index("t", IndexSpec("cl2", ("b",), clustered=True))
+
+    def test_duplicate_name_rejected(self, catalog):
+        catalog.create_index("t", IndexSpec("ix", ("a",)))
+        with pytest.raises(CatalogError):
+            catalog.create_index("t", IndexSpec("ix", ("b",)))
+
+    def test_missing_column_rejected(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.create_index("t", IndexSpec("ix", ("nope",)))
+
+    def test_drop_index(self, catalog):
+        catalog.create_index("t", IndexSpec("ix", ("a",)))
+        catalog.drop_index("t", "ix")
+        assert catalog.find_covering_index("t", ["a"]) is None
+
+    def test_drop_missing_index(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop_index("t", "zz")
+
+    def test_dropping_table_drops_indexes(self, catalog):
+        catalog.create_index("t", IndexSpec("ix", ("a",)))
+        catalog.drop("t")
+        assert catalog.indexes_on("t") == ()

@@ -1,0 +1,90 @@
+"""Unit tests for predicates and derived columns."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import (
+    DerivedColumn,
+    Predicate,
+    apply_filter,
+    is_null_flag,
+    length_of,
+    with_derived,
+)
+from repro.engine.table import Table
+from repro.engine.types import SchemaError
+
+
+class TestPredicate:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("==", [True, False, False]),
+            ("!=", [False, True, True]),
+            ("<", [False, True, False]),
+            ("<=", [True, True, False]),
+            (">", [False, False, True]),
+            (">=", [True, False, True]),
+        ],
+    )
+    def test_operators(self, op, expected):
+        table = Table("t", {"x": [5, 3, 9]})
+        assert list(Predicate("x", op, 5).mask(table)) == expected
+
+    def test_unknown_op(self):
+        table = Table("t", {"x": [1]})
+        with pytest.raises(SchemaError):
+            Predicate("x", "~", 1).mask(table)
+
+    def test_describe_sql(self):
+        assert Predicate("x", "==", "a").describe() == "x = 'a'"
+        assert Predicate("x", "!=", 3).describe() == "x <> 3"
+
+
+class TestFilter:
+    def test_conjunction(self):
+        table = Table("t", {"x": [1, 2, 3, 4], "y": [0, 1, 0, 1]})
+        out = apply_filter(
+            table, [Predicate("x", ">", 1), Predicate("y", "==", 1)]
+        )
+        assert out.to_rows() == [(2, 1), (4, 1)]
+
+    def test_empty_predicates_passthrough(self, tiny_table):
+        assert apply_filter(tiny_table, []) is tiny_table
+
+
+class TestDerived:
+    def test_length(self):
+        table = Table("t", {"s": ["ab", "", "xyz"]})
+        out = with_derived(table, [length_of("s")])
+        assert list(out["len_s"]) == [2, 0, 3]
+
+    def test_is_null(self):
+        table = Table("t", {"s": ["ab", ""]})
+        out = with_derived(table, [is_null_flag("s")])
+        assert list(out["isnull_s"]) == [0, 1]
+
+    def test_custom(self):
+        table = Table("t", {"x": [1, 2, 3]})
+        doubled = DerivedColumn("x2", "x", "custom", fn=lambda a: a * 2)
+        out = with_derived(table, [doubled])
+        assert list(out["x2"]) == [2, 4, 6]
+
+    def test_custom_without_fn(self):
+        table = Table("t", {"x": [1]})
+        with pytest.raises(SchemaError):
+            DerivedColumn("x2", "x", "custom").evaluate(table)
+
+    def test_unknown_expr(self):
+        table = Table("t", {"x": [1]})
+        with pytest.raises(SchemaError):
+            DerivedColumn("o", "x", "sqrt").evaluate(table)
+
+    def test_grouping_on_derived_column(self):
+        """The Section 1 scenario: GROUP BY LEN(column)."""
+        from repro.engine.aggregation import AggregateSpec, group_by
+
+        table = Table("t", {"s": ["a", "bb", "cc", "d"]})
+        table = with_derived(table, [length_of("s")])
+        result = group_by(table, ["len_s"], [AggregateSpec.count_star()])
+        assert sorted(result.to_rows()) == [(1, 2), (2, 2)]

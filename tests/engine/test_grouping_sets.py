@@ -1,0 +1,97 @@
+"""Unit tests for CUBE / ROLLUP / GROUPING SETS operators."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.engine.aggregation import AggregateSpec, group_by
+from repro.engine.grouping_sets import cube, grouping_sets, rollup
+from repro.engine.types import SchemaError
+from tests.conftest import brute_force_group_by, result_as_dict
+
+
+def reference(table, keys):
+    return brute_force_group_by(table, list(keys))
+
+
+class TestCube:
+    def test_all_subsets_present(self, tiny_table):
+        results = cube(tiny_table, ["a", "b", "c"])
+        expected_sets = set()
+        for size in range(1, 4):
+            for combo in combinations(["a", "b", "c"], size):
+                expected_sets.add(frozenset(combo))
+        assert set(results) == expected_sets
+
+    def test_every_grouping_correct(self, tiny_table):
+        results = cube(tiny_table, ["a", "b", "c"])
+        for grouping, table in results.items():
+            keys = sorted(grouping)
+            assert result_as_dict(table, keys) == reference(tiny_table, keys)
+
+    def test_grand_total(self, tiny_table):
+        results = cube(tiny_table, ["a", "b"], include_grand_total=True)
+        total = results[frozenset()]
+        assert total["cnt"][0] == tiny_table.num_rows
+
+    def test_width_guard(self, tiny_table):
+        with pytest.raises(SchemaError):
+            cube(tiny_table, [f"c{i}" for i in range(17)])
+
+    def test_smallest_parent_used(self, random_table):
+        """Sub-groupings computed from parents must still be exact."""
+        results = cube(random_table, ["low", "mid", "corr"])
+        for grouping, table in results.items():
+            keys = sorted(grouping)
+            assert result_as_dict(table, keys) == reference(
+                random_table, keys
+            )
+
+
+class TestRollup:
+    def test_prefixes_only(self, tiny_table):
+        results = rollup(tiny_table, ["a", "b", "c"])
+        assert set(results) == {
+            frozenset(["a"]),
+            frozenset(["a", "b"]),
+            frozenset(["a", "b", "c"]),
+        }
+
+    def test_values_correct(self, tiny_table):
+        results = rollup(tiny_table, ["a", "b"])
+        for grouping, table in results.items():
+            keys = sorted(grouping)
+            assert result_as_dict(table, keys) == reference(tiny_table, keys)
+
+    def test_empty_order_rejected(self, tiny_table):
+        with pytest.raises(SchemaError):
+            rollup(tiny_table, [])
+
+
+class TestGroupingSets:
+    def test_naive_strategy(self, tiny_table):
+        results = grouping_sets(tiny_table, [["a"], ["b"], ["a", "c"]])
+        for grouping, table in results.items():
+            keys = sorted(grouping)
+            assert result_as_dict(table, keys) == reference(tiny_table, keys)
+
+    def test_pipesort_strategy_matches_naive(self, random_table):
+        sets = [["low"], ["mid"], ["low", "mid"], ["low", "mid", "corr"]]
+        shared = grouping_sets(random_table, sets, strategy="pipesort")
+        plain = grouping_sets(random_table, sets, strategy="naive")
+        for grouping in plain:
+            keys = sorted(grouping)
+            assert result_as_dict(
+                shared[grouping], keys
+            ) == result_as_dict(plain[grouping], keys)
+
+    def test_unknown_strategy(self, tiny_table):
+        with pytest.raises(SchemaError):
+            grouping_sets(tiny_table, [["a"]], strategy="quantum")
+
+    def test_custom_aggregate(self, tiny_table):
+        results = grouping_sets(
+            tiny_table, [["a"]], aggregates=[AggregateSpec("sum", "c", "s")]
+        )
+        expected = brute_force_group_by(tiny_table, ["a"], "sum", "c")
+        assert result_as_dict(results[frozenset(["a"])], ["a"], "s") == expected

@@ -1,0 +1,79 @@
+"""Unit tests for covering indexes."""
+
+import pytest
+
+from repro.engine.aggregation import AggregateSpec, group_by
+from repro.engine.indexes import Index, IndexSpec
+from repro.engine.metrics import ExecutionMetrics
+from repro.engine.types import SchemaError
+from tests.conftest import result_as_dict
+
+
+class TestIndexSpec:
+    def test_needs_columns(self):
+        with pytest.raises(SchemaError):
+            IndexSpec("ix", ())
+
+
+class TestNonClustered:
+    def test_covers(self, tiny_table):
+        index = Index(IndexSpec("ix", ("a", "b")), tiny_table)
+        assert index.covers(["a"])
+        assert index.covers(["b", "a"])
+        assert not index.covers(["c"])
+
+    def test_prefix(self, tiny_table):
+        index = Index(IndexSpec("ix", ("a", "b")), tiny_table)
+        assert index.is_prefix(["a"])
+        assert index.is_prefix(["a", "b"])
+        assert not index.is_prefix(["b"])
+
+    def test_size_is_projection(self, tiny_table):
+        index = Index(IndexSpec("ix", ("a",)), tiny_table)
+        assert index.size_bytes == tiny_table.size_bytes(["a"])
+
+    def test_group_by_matches_direct(self, tiny_table):
+        index = Index(IndexSpec("ix", ("a", "b")), tiny_table)
+        metrics = ExecutionMetrics()
+        via_index = index.group_by(
+            ["a"], [AggregateSpec.count_star()], "out", metrics
+        )
+        direct = group_by(tiny_table, ["a"], [AggregateSpec.count_star()])
+        assert result_as_dict(via_index, ["a"]) == result_as_dict(
+            direct, ["a"]
+        )
+        assert metrics.index_scans == 1
+
+    def test_group_by_non_prefix_still_correct(self, tiny_table):
+        index = Index(IndexSpec("ix", ("a", "b")), tiny_table)
+        via_index = index.group_by(["b"], [AggregateSpec.count_star()], "out")
+        direct = group_by(tiny_table, ["b"], [AggregateSpec.count_star()])
+        assert result_as_dict(via_index, ["b"]) == result_as_dict(
+            direct, ["b"]
+        )
+
+    def test_group_by_uncovered_rejected(self, tiny_table):
+        index = Index(IndexSpec("ix", ("a",)), tiny_table)
+        with pytest.raises(SchemaError):
+            index.group_by(["c"], [AggregateSpec.count_star()], "out")
+
+    def test_scan_width(self, tiny_table):
+        index = Index(IndexSpec("ix", ("a", "b")), tiny_table)
+        assert index.scan_width(["a"], tiny_table) == tiny_table.row_width(
+            ["a", "b"]
+        )
+
+
+class TestClustered:
+    def test_size_is_full_table(self, tiny_table):
+        index = Index(IndexSpec("cl", ("a",), clustered=True), tiny_table)
+        assert index.size_bytes == tiny_table.size_bytes()
+
+    def test_no_projection_group_by(self, tiny_table):
+        index = Index(IndexSpec("cl", ("a",), clustered=True), tiny_table)
+        with pytest.raises(SchemaError):
+            index.group_by(["a"], [AggregateSpec.count_star()], "out")
+
+    def test_scan_width_is_row_width(self, tiny_table):
+        index = Index(IndexSpec("cl", ("a",), clustered=True), tiny_table)
+        assert index.scan_width(["a"], tiny_table) == tiny_table.row_width()

@@ -1,0 +1,57 @@
+"""Unit tests for execution metrics."""
+
+from repro.engine.metrics import ExecutionMetrics
+
+
+class TestCounters:
+    def test_record_scan(self):
+        metrics = ExecutionMetrics()
+        metrics.record_scan(10, 800)
+        metrics.record_scan(5, 400, from_index=True)
+        assert metrics.rows_scanned == 15
+        assert metrics.bytes_scanned == 1200
+        assert metrics.index_scans == 1
+
+    def test_record_materialize(self):
+        metrics = ExecutionMetrics()
+        metrics.record_materialize(3, 120)
+        assert metrics.rows_materialized == 3
+        assert metrics.bytes_materialized == 120
+
+    def test_work_is_read_plus_written(self):
+        metrics = ExecutionMetrics()
+        metrics.record_scan(1, 100)
+        metrics.record_materialize(1, 40)
+        assert metrics.work == 140
+
+    def test_group_and_sort_ops(self):
+        metrics = ExecutionMetrics()
+        metrics.record_group_by()
+        metrics.record_sort()
+        metrics.record_sort()
+        assert metrics.group_by_ops == 1
+        assert metrics.sort_ops == 2
+
+
+class TestMerge:
+    def test_merged_with_sums_counters(self):
+        a = ExecutionMetrics()
+        a.record_scan(10, 100)
+        a.queries_executed = 2
+        b = ExecutionMetrics()
+        b.record_materialize(4, 50)
+        b.queries_executed = 1
+        merged = a.merged_with(b)
+        assert merged.rows_scanned == 10
+        assert merged.bytes_materialized == 50
+        assert merged.queries_executed == 3
+        # Originals untouched.
+        assert a.bytes_materialized == 0
+
+    def test_merged_with_combines_per_query(self):
+        a = ExecutionMetrics()
+        a.per_query_bytes["q1"] = 10
+        b = ExecutionMetrics()
+        b.per_query_bytes["q2"] = 20
+        merged = a.merged_with(b)
+        assert merged.per_query_bytes == {"q1": 10, "q2": 20}

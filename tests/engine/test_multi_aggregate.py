@@ -1,0 +1,198 @@
+"""Unit + property tests for per-query aggregate execution (Section 7.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Session
+from repro.core.extensions import AggregateQuery
+from repro.core.plan import naive_plan
+from repro.engine.aggregation import AggregateSpec
+from repro.engine.multi_aggregate import (
+    MultiAggregateError,
+    canonical_alias,
+    execute_multi_aggregate,
+    prepare_workload,
+)
+from repro.engine.table import Table
+from tests.conftest import brute_force_group_by, result_as_dict
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+def q(cols, *specs):
+    return AggregateQuery(fs(*cols), tuple(specs))
+
+
+@pytest.fixture
+def session(random_table):
+    return Session.for_table(random_table, statistics="exact")
+
+
+def reference(table, keys, func, column):
+    return brute_force_group_by(table, keys, func, column)
+
+
+class TestPrepare:
+    def test_canonical_alias(self):
+        assert canonical_alias("count", None) == "cnt"
+        assert canonical_alias("sum", "x") == "sum_x"
+
+    def test_shared_identity(self):
+        workload = prepare_workload(
+            [
+                q(["a"], AggregateSpec("sum", "x", "total")),
+                q(["a"], AggregateSpec("sum", "x", "other_name")),
+            ]
+        )
+        assert len(workload.needs[fs("a")]) == 1
+        assert len(workload.captures[fs("a")]) == 2
+
+    def test_avg_decomposed(self):
+        workload = prepare_workload(
+            [q(["a"], AggregateSpec("avg", "x", "mean_x"))]
+        )
+        identities = set(workload.needs[fs("a")])
+        assert identities == {("sum", "x"), ("count", None)}
+
+
+class TestExecution:
+    def test_mixed_aggregates_match_brute_force(self, session, random_table):
+        queries = [
+            q(["low"], AggregateSpec.count_star(), AggregateSpec("sum", "high", "s")),
+            q(["mid"], AggregateSpec("min", "high", "lo"), AggregateSpec("max", "high", "hi")),
+            q(["low", "mid"], AggregateSpec.count_star()),
+        ]
+        optimization, run = session.run_with_aggregates(queries)
+        optimization.plan.validate()
+
+        low = run.results[fs("low")]
+        assert result_as_dict(low, ["low"], "cnt") == reference(
+            random_table, ["low"], "count", None
+        )
+        assert result_as_dict(low, ["low"], "s") == reference(
+            random_table, ["low"], "sum", "high"
+        )
+        mid = run.results[fs("mid")]
+        assert result_as_dict(mid, ["mid"], "lo") == reference(
+            random_table, ["mid"], "min", "high"
+        )
+        assert result_as_dict(mid, ["mid"], "hi") == reference(
+            random_table, ["mid"], "max", "high"
+        )
+
+    def test_avg_recombined_exactly(self, session, random_table):
+        queries = [q(["low"], AggregateSpec("avg", "high", "mean_high"))]
+        _, run = session.run_with_aggregates(queries)
+        got = result_as_dict(run.results[fs("low")], ["low"], "mean_high")
+        expected = reference(random_table, ["low"], "avg", "high")
+        for key, value in expected.items():
+            assert got[key] == pytest.approx(value)
+
+    def test_results_via_merged_plan_match_naive_plan(self, random_table):
+        """Same aggregates through a merged tree and the naive plan."""
+        queries = [
+            q(["low"], AggregateSpec("sum", "high", "s")),
+            q(["mid"], AggregateSpec("sum", "high", "s")),
+        ]
+        from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+        from repro.engine.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.add_table(random_table)
+        merged_root = SubPlan(
+            PlanNode(fs("low", "mid")),
+            (SubPlan.leaf(fs("low")), SubPlan.leaf(fs("mid"))),
+        )
+        merged = LogicalPlan("r", (merged_root,), frozenset([fs("low"), fs("mid")]))
+        naive = naive_plan("r", [fs("low"), fs("mid")])
+        run_merged = execute_multi_aggregate(catalog, "r", merged, queries)
+        run_naive = execute_multi_aggregate(catalog, "r", naive, queries)
+        for columns in (fs("low"), fs("mid")):
+            assert sorted(run_merged.results[columns].to_rows()) == sorted(
+                run_naive.results[columns].to_rows()
+            )
+
+    def test_required_intermediate_with_aggregates(self, random_table):
+        from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+        from repro.engine.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.add_table(random_table)
+        root = SubPlan(
+            PlanNode(fs("low", "mid")), (SubPlan.leaf(fs("low")),), required=True
+        )
+        plan = LogicalPlan(
+            "r", (root,), frozenset([fs("low"), fs("low", "mid")])
+        )
+        queries = [
+            q(["low", "mid"], AggregateSpec("max", "high", "m")),
+            q(["low"], AggregateSpec.count_star()),
+        ]
+        run = execute_multi_aggregate(catalog, "r", plan, queries)
+        got = result_as_dict(
+            run.results[fs("low", "mid")], ["low", "mid"], "m"
+        )
+        assert got == reference(random_table, ["low", "mid"], "max", "high")
+
+    def test_plan_must_answer_queries(self, random_table):
+        from repro.engine.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.add_table(random_table)
+        plan = naive_plan("r", [fs("low")])
+        with pytest.raises(MultiAggregateError):
+            execute_multi_aggregate(
+                catalog, "r", plan, [q(["mid"], AggregateSpec.count_star())]
+            )
+
+    def test_cube_nodes_rejected(self, random_table):
+        from repro.core.plan import LogicalPlan, NodeKind, PlanNode, SubPlan
+        from repro.engine.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.add_table(random_table)
+        node = SubPlan(
+            PlanNode(fs("low"), NodeKind.CUBE),
+            (),
+            direct_answers=frozenset([fs("low")]),
+        )
+        plan = LogicalPlan("r", (node,), frozenset([fs("low")]))
+        with pytest.raises(MultiAggregateError):
+            execute_multi_aggregate(
+                catalog, "r", plan, [q(["low"], AggregateSpec.count_star())]
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_multi_aggregate_property(seed):
+    """Property: optimized multi-aggregate runs equal brute force."""
+    rng = np.random.default_rng(seed)
+    n = 400
+    table = Table(
+        "t",
+        {
+            "g1": rng.integers(0, 8, n),
+            "g2": rng.integers(0, 15, n),
+            "v": rng.integers(-50, 50, n),
+        },
+    )
+    session = Session.for_table(table, statistics="exact")
+    queries = [
+        q(["g1"], AggregateSpec.count_star(), AggregateSpec("sum", "v", "sv")),
+        q(["g2"], AggregateSpec("min", "v", "mn")),
+        q(["g1", "g2"], AggregateSpec("max", "v", "mx")),
+    ]
+    _, run = session.run_with_aggregates(queries)
+    assert result_as_dict(run.results[fs("g1")], ["g1"], "sv") == reference(
+        table, ["g1"], "sum", "v"
+    )
+    assert result_as_dict(run.results[fs("g2")], ["g2"], "mn") == reference(
+        table, ["g2"], "min", "v"
+    )
+    assert result_as_dict(
+        run.results[fs("g1", "g2")], ["g1", "g2"], "mx"
+    ) == reference(table, ["g1", "g2"], "max", "v")

@@ -1,0 +1,111 @@
+"""Unit + property tests for the Partitioned-Cube operator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.aggregation import AggregateSpec
+from repro.engine.grouping_sets import cube
+from repro.engine.partitioned_cube import (
+    choose_partition_attribute,
+    partition_by_values,
+    partitioned_cube,
+)
+from repro.engine.table import Table
+from repro.engine.types import SchemaError
+from tests.conftest import brute_force_group_by, result_as_dict
+
+
+class TestPartitioning:
+    def test_partitions_disjoint_and_complete(self, random_table):
+        partitions = partition_by_values(random_table, "mid", 4)
+        assert sum(p.num_rows for p in partitions) == random_table.num_rows
+        seen = set()
+        for partition in partitions:
+            values = set(np.unique(partition["mid"]))
+            assert not values & seen
+            seen |= values
+
+    def test_partition_count_capped_by_cardinality(self, random_table):
+        partitions = partition_by_values(random_table, "low", 50)
+        assert len(partitions) <= 5  # low has 5 values
+
+    def test_choose_highest_cardinality(self, random_table):
+        assert (
+            choose_partition_attribute(random_table, ["low", "high", "mid"])
+            == "high"
+        )
+
+
+class TestPartitionedCube:
+    def test_matches_in_memory_cube(self, random_table):
+        columns = ["low", "mid", "corr"]
+        budget = partitioned_cube(random_table, columns, memory_rows=500)
+        reference = cube(random_table, columns)
+        assert set(budget) == set(reference)
+        for grouping in reference:
+            keys = sorted(grouping)
+            assert result_as_dict(
+                budget[grouping], keys
+            ) == result_as_dict(reference[grouping], keys)
+
+    def test_in_memory_fast_path(self, random_table):
+        columns = ["low", "mid"]
+        results = partitioned_cube(
+            random_table, columns, memory_rows=random_table.num_rows
+        )
+        assert set(results) == {
+            frozenset(["low"]),
+            frozenset(["mid"]),
+            frozenset(["low", "mid"]),
+        }
+
+    def test_with_sum_aggregate(self, random_table):
+        columns = ["low", "txt"]
+        results = partitioned_cube(
+            random_table,
+            columns,
+            memory_rows=800,
+            aggregates=[AggregateSpec("sum", "high", "s")],
+        )
+        expected = brute_force_group_by(random_table, ["low"], "sum", "high")
+        assert result_as_dict(
+            results[frozenset(["low"])], ["low"], "s"
+        ) == expected
+
+    def test_empty_columns_rejected(self, random_table):
+        with pytest.raises(SchemaError):
+            partitioned_cube(random_table, [], memory_rows=10)
+
+    def test_counts_sum_to_rows_everywhere(self, random_table):
+        results = partitioned_cube(
+            random_table, ["low", "mid", "txt"], memory_rows=700
+        )
+        for grouping, table in results.items():
+            assert int(table["cnt"].sum()) == random_table.num_rows
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 2_000),
+    memory_rows=st.integers(20, 2_000),
+)
+def test_partitioned_cube_property(seed, memory_rows):
+    """Property: any memory budget yields the exact in-memory cube."""
+    rng = np.random.default_rng(seed)
+    n = 600
+    table = Table(
+        "t",
+        {
+            "a": rng.integers(0, 12, n),
+            "b": rng.integers(0, 5, n),
+            "c": rng.integers(0, 40, n),
+        },
+    )
+    budget = partitioned_cube(table, ["a", "b", "c"], memory_rows=memory_rows)
+    reference = cube(table, ["a", "b", "c"])
+    for grouping in reference:
+        keys = sorted(grouping)
+        assert result_as_dict(budget[grouping], keys) == result_as_dict(
+            reference[grouping], keys
+        )

@@ -1,0 +1,130 @@
+"""Unit tests for SQL text generation (Section 5.2)."""
+
+from repro.core.plan import LogicalPlan, NodeKind, PlanNode, SubPlan, naive_plan
+from repro.engine.sqlgen import grouping_sets_sql, plan_to_sql
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+class TestPlanToSql:
+    def test_naive_plan_is_plain_selects(self):
+        plan = naive_plan("R", [fs("a"), fs("b")])
+        script = plan_to_sql(plan)
+        assert script == [
+            "SELECT a, COUNT(*) AS cnt FROM R GROUP BY a;",
+            "SELECT b, COUNT(*) AS cnt FROM R GROUP BY b;",
+        ]
+
+    def test_intermediate_select_into_and_drop(self):
+        root = SubPlan(
+            PlanNode(fs("a", "b")),
+            (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"))),
+        )
+        plan = LogicalPlan("R", (root,), frozenset([fs("a"), fs("b")]))
+        script = plan_to_sql(plan)
+        assert script[0] == (
+            "SELECT a, b, COUNT(*) AS cnt INTO tmp__a__b "
+            "FROM R GROUP BY a, b;"
+        )
+        # Children re-aggregate with SUM(cnt) from the temp table.
+        assert (
+            "SELECT a, SUM(cnt) AS cnt FROM tmp__a__b GROUP BY a;" in script
+        )
+        assert script[-1] == "DROP TABLE tmp__a__b;"
+
+    def test_nested_temp_sources(self):
+        inner = SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),))
+        root = SubPlan(PlanNode(fs("a", "b", "c")), (inner,))
+        plan = LogicalPlan("R", (root,), frozenset([fs("a")]))
+        script = plan_to_sql(plan)
+        assert (
+            "SELECT a, b, SUM(cnt) AS cnt INTO tmp__a__b "
+            "FROM tmp__a__b__c GROUP BY a, b;" in script
+        )
+
+    def test_cube_node_sql(self):
+        node = SubPlan(
+            PlanNode(fs("a", "b"), NodeKind.CUBE),
+            (),
+            direct_answers=frozenset([fs("a")]),
+        )
+        plan = LogicalPlan("R", (node,), frozenset([fs("a")]))
+        (statement,) = plan_to_sql(plan)
+        assert "GROUP BY CUBE (a, b)" in statement
+
+    def test_rollup_node_sql(self):
+        node = SubPlan(
+            PlanNode(fs("a", "b"), NodeKind.ROLLUP, ("b", "a")),
+            (),
+            direct_answers=frozenset([fs("b")]),
+        )
+        plan = LogicalPlan("R", (node,), frozenset([fs("b")]))
+        (statement,) = plan_to_sql(plan)
+        assert "GROUP BY ROLLUP (b, a)" in statement
+
+    def test_drop_count_matches_materializations(self):
+        root = SubPlan(
+            PlanNode(fs("a", "b", "c")),
+            (
+                SubPlan(PlanNode(fs("a", "b")), (SubPlan.leaf(fs("a")),)),
+                SubPlan.leaf(fs("c")),
+            ),
+        )
+        plan = LogicalPlan("R", (root,), frozenset([fs("a"), fs("c")]))
+        script = plan_to_sql(plan)
+        drops = [s for s in script if s.startswith("DROP")]
+        intos = [s for s in script if " INTO " in s]
+        assert len(drops) == len(intos) == 2
+
+
+def test_grouping_sets_sql():
+    sql = grouping_sets_sql("R", [fs("b"), fs("a"), fs("a", "c")])
+    assert sql == (
+        "SELECT *, COUNT(*) AS cnt FROM R "
+        "GROUP BY GROUPING SETS ((a), (b), (a, c));"
+    )
+
+
+class TestTempLifetimes:
+    def test_temps_referenced_only_while_alive(self):
+        """Property over random plans: in the generated SQL script,
+        every temp is created (INTO) before any read and never
+        referenced after its DROP."""
+        import numpy as np
+
+        from repro.core.exhaustive import optimal_plan
+        from repro.costmodel.base import PlanCoster
+        from repro.costmodel.cardinality import CardinalityCostModel
+        from tests.core.support import FakeEstimator
+
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            singles = {
+                f"c{i}": float(rng.integers(2, 5_000))
+                for i in range(int(rng.integers(2, 6)))
+            }
+            estimator = FakeEstimator(int(rng.integers(100, 100_000)), singles)
+            coster = PlanCoster(CardinalityCostModel(estimator))
+            plan = optimal_plan(
+                "R", [fs(c) for c in singles], coster
+            ).plan
+            script = plan_to_sql(plan)
+            alive = set()
+            for statement in script:
+                if statement.startswith("DROP TABLE "):
+                    name = statement[len("DROP TABLE "):].rstrip(";")
+                    assert name in alive
+                    alive.discard(name)
+                    continue
+                if " INTO " in statement:
+                    target = statement.split(" INTO ")[1].split(" FROM ")[0]
+                else:
+                    target = None
+                if " FROM tmp__" in statement:
+                    source = statement.split(" FROM ")[1].split(" GROUP BY")[0]
+                    assert source in alive, statement
+                if target is not None:
+                    alive.add(target)
+            assert not alive

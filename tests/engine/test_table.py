@@ -1,0 +1,141 @@
+"""Unit tests for the columnar Table."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+from repro.engine.types import INT_NULL, SchemaError
+
+
+class TestConstruction:
+    def test_basic(self, tiny_table):
+        assert tiny_table.num_rows == 12
+        assert tiny_table.column_names == ("a", "b", "c", "v")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {})
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {"a": [1, 2], "b": [1]})
+
+    def test_bool_coerced_to_int(self):
+        table = Table("t", {"flag": [True, False, True]})
+        assert table["flag"].dtype == np.int64
+        assert list(table["flag"]) == [1, 0, 1]
+
+    def test_object_column_with_none_becomes_null_string(self):
+        table = Table("t", {"s": np.array(["a", None, "b"], dtype=object)})
+        assert table["s"][1] == ""
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {"m": np.zeros((2, 2))})
+
+    def test_from_rows_roundtrip(self):
+        rows = [(1, "a"), (2, "b")]
+        table = Table.from_rows("t", ["x", "y"], rows)
+        assert table.to_rows() == rows
+
+    def test_from_rows_empty(self):
+        table = Table.from_rows("t", ["x"], [])
+        assert table.num_rows == 0
+
+    def test_missing_column_raises(self, tiny_table):
+        with pytest.raises(SchemaError, match="no column"):
+            tiny_table["nope"]
+
+    def test_contains(self, tiny_table):
+        assert "a" in tiny_table
+        assert "zz" not in tiny_table
+
+
+class TestSizeModel:
+    def test_row_width_ints(self):
+        table = Table("t", {"a": [1], "b": [2]})
+        assert table.row_width() == 16
+
+    def test_row_width_subset(self, tiny_table):
+        assert tiny_table.row_width(["a"]) == 8
+
+    def test_size_bytes_scales_with_rows(self, tiny_table):
+        assert tiny_table.size_bytes(["a"]) == 8 * 12
+
+    def test_string_width_is_itemsize(self):
+        table = Table("t", {"s": ["abc", "x"]})
+        assert table.row_width() == table["s"].dtype.itemsize
+
+    def test_touch_returns_size(self, tiny_table):
+        assert tiny_table.touch() == tiny_table.size_bytes()
+        assert tiny_table.touch(["a"]) == tiny_table.size_bytes(["a"])
+
+
+class TestRelationalOps:
+    def test_project_shares_arrays(self, tiny_table):
+        projection = tiny_table.project(["a", "b"])
+        assert projection["a"] is tiny_table["a"]
+        assert projection.column_names == ("a", "b")
+
+    def test_project_missing_column(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.project(["a", "nope"])
+
+    def test_project_shares_dictionaries(self, tiny_table):
+        tiny_table.dictionary("a")
+        projection = tiny_table.project(["a"])
+        assert "a" in projection._dictionaries
+
+    def test_take_mask(self, tiny_table):
+        mask = tiny_table["a"] == 1
+        taken = tiny_table.take(mask)
+        assert taken.num_rows == 4
+        assert set(taken["a"]) == {1}
+
+    def test_take_indices(self, tiny_table):
+        taken = tiny_table.take(np.array([0, 2]))
+        assert list(taken["a"]) == [1, 2]
+
+    def test_sort_by(self, tiny_table):
+        ordered = tiny_table.sort_by(["c", "a"])
+        c = ordered["c"]
+        assert all(c[i] <= c[i + 1] for i in range(len(c) - 1))
+
+    def test_rename(self, tiny_table):
+        renamed = tiny_table.rename("other")
+        assert renamed.name == "other"
+        assert renamed["a"] is tiny_table["a"]
+
+    def test_with_column(self, tiny_table):
+        extended = tiny_table.with_column("d", range(12))
+        assert "d" in extended
+        assert "d" not in tiny_table
+
+    def test_with_column_wrong_length(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.with_column("d", [1, 2])
+
+
+class TestDictionary:
+    def test_codes_roundtrip(self, tiny_table):
+        codes, values = tiny_table.dictionary("b")
+        assert list(values[codes]) == list(tiny_table["b"])
+
+    def test_codes_are_dense(self, tiny_table):
+        codes, values = tiny_table.dictionary("a")
+        assert codes.max() == len(values) - 1
+        assert codes.min() == 0
+
+    def test_cached(self, tiny_table):
+        first = tiny_table.dictionary("a")
+        second = tiny_table.dictionary("a")
+        assert first[0] is second[0]
+
+    def test_build_all(self, tiny_table):
+        tiny_table.build_dictionaries()
+        assert set(tiny_table._dictionaries) == set(tiny_table.column_names)
+
+    def test_null_values_participate(self):
+        table = Table("t", {"x": [INT_NULL, 1, INT_NULL]})
+        codes, values = table.dictionary("x")
+        assert len(values) == 2

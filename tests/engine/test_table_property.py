@@ -1,0 +1,65 @@
+"""Property tests for Table algebra invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.table import Table
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(1, 80))
+    ints = draw(
+        st.lists(st.integers(-50, 50), min_size=n, max_size=n)
+    )
+    strings = draw(
+        st.lists(st.sampled_from(["u", "vv", "www"]), min_size=n, max_size=n)
+    )
+    return Table("p", {"i": ints, "s": strings})
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=tables())
+def test_dictionary_roundtrip(table):
+    for column in table.column_names:
+        codes, values = table.dictionary(column)
+        assert list(values[codes]) == list(table[column])
+        # Codes are dense and values sorted + unique.
+        assert len(set(values.tolist())) == len(values)
+        if len(values) > 1:
+            assert all(values[i] < values[i + 1] for i in range(len(values) - 1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=tables(), seed=st.integers(0, 1_000))
+def test_take_preserves_row_integrity(table, seed):
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, table.num_rows, size=table.num_rows // 2 + 1)
+    taken = table.take(indices)
+    original_rows = table.to_rows()
+    for j, i in enumerate(indices):
+        assert taken.to_rows()[j] == original_rows[int(i)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=tables())
+def test_sort_is_permutation(table):
+    ordered = table.sort_by(["i", "s"])
+    assert sorted(ordered.to_rows()) == sorted(table.to_rows())
+    column = ordered["i"]
+    assert all(column[k] <= column[k + 1] for k in range(len(column) - 1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=tables())
+def test_touch_equals_size(table):
+    assert table.touch() == table.size_bytes()
+    assert table.touch(["i"]) == table.size_bytes(["i"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(table=tables())
+def test_project_is_view(table):
+    projection = table.project(["s"])
+    assert projection.num_rows == table.num_rows
+    assert projection["s"] is table["s"]

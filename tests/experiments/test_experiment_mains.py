@@ -1,0 +1,45 @@
+"""Every experiment module's CLI entry point prints its table."""
+
+import pytest
+
+from repro.experiments import (
+    exp_binary_tree,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_fig13,
+    exp_fig14,
+    exp_storage,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+)
+from repro.experiments.report import ExperimentResult
+
+ALL_MODULES = [
+    exp_table1,
+    exp_table2,
+    exp_table3,
+    exp_fig9,
+    exp_fig10,
+    exp_binary_tree,
+    exp_fig11,
+    exp_fig12,
+    exp_fig13,
+    exp_fig14,
+    exp_storage,
+]
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=[m.__name__.rsplit(".", 1)[-1] for m in ALL_MODULES]
+)
+def test_main_prints_render(module, monkeypatch, capsys):
+    dummy = ExperimentResult(
+        experiment_id="Dummy", title="t", headers=("h",), rows=[(1,)]
+    )
+    monkeypatch.setattr(module, "run", lambda *a, **k: dummy)
+    module.main()
+    out = capsys.readouterr().out
+    assert "Dummy — t" in out

@@ -1,0 +1,90 @@
+"""Unit tests for the experiment report and measurement harness."""
+
+import pytest
+
+from repro.experiments.harness import (
+    make_session,
+    run_comparison,
+    verify_results_match,
+)
+from repro.experiments.report import (
+    ExperimentResult,
+    format_cell,
+    render_table,
+)
+from repro.workloads.queries import single_column_queries
+from repro.workloads.tpch import make_lineitem
+
+
+class TestFormatting:
+    def test_format_cell(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234.5) == "1,234"
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(0.0123) == "0.012"
+        assert format_cell("text") == "text"
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["col", "n"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[2]
+        assert len({len(line) for line in lines[1:] if line}) <= 2
+
+    def test_experiment_result_render_and_column(self):
+        result = ExperimentResult(
+            "Table X", "demo", ("a", "b"), [(1, 2), (3, 4)], ["a note"]
+        )
+        text = result.render()
+        assert "Table X — demo" in text
+        assert "note: a note" in text
+        assert result.column("b") == [2, 4]
+
+    def test_column_unknown_header(self):
+        result = ExperimentResult("T", "d", ("a",), [(1,)])
+        with pytest.raises(ValueError):
+            result.column("zz")
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def comparison_setup(self):
+        table = make_lineitem(8_000)
+        session = make_session(table, statistics="exact")
+        queries = single_column_queries(
+            ("l_returnflag", "l_linestatus", "l_shipmode", "l_orderkey")
+        )
+        comparison = run_comparison(
+            session, queries, keep_results=True
+        )
+        return comparison, queries
+
+    def test_fields_populated(self, comparison_setup):
+        comparison, queries = comparison_setup
+        assert comparison.n_queries == 4
+        assert comparison.naive_seconds > 0
+        assert comparison.plan_seconds > 0
+        assert comparison.naive_work > 0
+
+    def test_derived_metrics(self, comparison_setup):
+        comparison, _ = comparison_setup
+        assert comparison.speedup == pytest.approx(
+            comparison.naive_seconds / comparison.plan_seconds
+        )
+        assert comparison.work_ratio == pytest.approx(
+            comparison.naive_work / comparison.plan_work
+        )
+        assert comparison.runtime_reduction == pytest.approx(
+            1 - comparison.plan_seconds / comparison.naive_seconds
+        )
+
+    def test_verify_results_match(self, comparison_setup):
+        comparison, queries = comparison_setup
+        verify_results_match(comparison, queries)
+
+    def test_results_dropped_by_default(self):
+        table = make_lineitem(4_000)
+        session = make_session(table, statistics="exact")
+        queries = single_column_queries(("l_returnflag", "l_linestatus"))
+        comparison = run_comparison(session, queries)
+        assert comparison.execution.results == {}

@@ -1,0 +1,117 @@
+"""Property tests for the Appendix A reduction.
+
+The load-bearing fact is the cost correspondence
+``Cost(f(T)) = 2 * xr_tree_cost(T)`` under the Cardinality model with
+independent columns — it is what carries optimality (and hence
+NP-hardness) across the mapping.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exhaustive import optimal_plan
+from repro.costmodel.base import PlanCoster
+from repro.costmodel.cardinality import CardinalityCostModel
+from repro.hardness.reduction import (
+    CrossProductInstance,
+    IndependentEstimator,
+    XRTree,
+    gbmqo_plan_from_xr_tree,
+    optimal_xr_tree,
+    xr_tree_cost,
+    xr_tree_from_gbmqo_plan,
+)
+
+
+def random_tree(indices, rng):
+    """A uniformly structured random bushy tree over ``indices``."""
+    if len(indices) == 1:
+        return XRTree(index=indices[0])
+    split = rng.randint(1, len(indices) - 1)
+    return XRTree(
+        left=random_tree(indices[:split], rng),
+        right=random_tree(indices[split:], rng),
+    )
+
+
+@st.composite
+def instances_and_trees(draw):
+    import random
+
+    n = draw(st.integers(2, 6))
+    cards = tuple(draw(st.integers(2, 50)) for _ in range(n))
+    instance = CrossProductInstance(cards)
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    tree = random_tree(list(range(n)), rng)
+    return instance, tree
+
+
+class TestInstances:
+    def test_requires_two_relations(self):
+        with pytest.raises(ValueError):
+            CrossProductInstance((5,))
+
+    def test_requires_cardinality_two(self):
+        with pytest.raises(ValueError):
+            CrossProductInstance((1, 5))
+
+    def test_queries(self):
+        instance = CrossProductInstance((2, 3))
+        assert instance.queries() == [frozenset(["c0"]), frozenset(["c1"])]
+
+
+class TestIndependentEstimator:
+    def test_products(self):
+        instance = CrossProductInstance((2, 3, 5))
+        estimator = IndependentEstimator(instance)
+        assert estimator.base_rows == 30
+        assert estimator.rows(frozenset(["c0", "c2"])) == 10
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=instances_and_trees())
+def test_cost_correspondence(data):
+    """Cost(f(T)) == 2 * xr_tree_cost(T)."""
+    instance, tree = data
+    estimator = IndependentEstimator(instance)
+    coster = PlanCoster(CardinalityCostModel(estimator))
+    plan = gbmqo_plan_from_xr_tree(tree, instance)
+    assert coster.plan_cost(plan) == 2 * xr_tree_cost(tree, instance)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=instances_and_trees())
+def test_mapping_round_trips(data):
+    instance, tree = data
+    plan = gbmqo_plan_from_xr_tree(tree, instance)
+    back = xr_tree_from_gbmqo_plan(plan, instance)
+    assert xr_tree_cost(back, instance) == xr_tree_cost(tree, instance)
+    assert back.relations() == tree.relations()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    cards=st.lists(st.integers(2, 30), min_size=2, max_size=5).map(tuple)
+)
+def test_optima_correspond(cards):
+    """The optimal GB-MQO cost equals twice the optimal XR cost —
+    the heart of the NP-completeness proof, checked constructively."""
+    instance = CrossProductInstance(cards)
+    estimator = IndependentEstimator(instance)
+    coster = PlanCoster(CardinalityCostModel(estimator))
+    xr_cost, xr_tree = optimal_xr_tree(instance)
+    gb = optimal_plan("R", instance.queries(), coster)
+    assert gb.cost == 2 * xr_cost
+    # And the optimal XR tree maps to a GB plan of exactly that cost.
+    mapped = gbmqo_plan_from_xr_tree(xr_tree, instance)
+    assert coster.plan_cost(mapped) == gb.cost
+
+
+def test_optimal_xr_small_example():
+    # Relations 2, 3, 4: best bushy plan joins the two smallest first.
+    instance = CrossProductInstance((2, 3, 4))
+    cost, tree = optimal_xr_tree(instance)
+    # (2x3) then x4: internal nodes 6 and 24 -> 30.
+    assert cost == 30
+    assert tree.relations() == frozenset([0, 1, 2])

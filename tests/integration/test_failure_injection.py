@@ -1,0 +1,146 @@
+"""Failure injection: the system must stay correct (or fail cleanly)
+when its inputs misbehave.
+
+The load-bearing property: the optimizer consumes *estimates*, so no
+matter how wrong — or actively adversarial — the cardinality source is,
+the plan it returns must still be structurally valid and must execute
+to exactly the naive plan's results.  Bad statistics may cost
+performance, never correctness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import GbMqoOptimizer, OptimizerOptions
+from repro.core.plan import naive_plan
+from repro.costmodel.base import PlanCoster
+from repro.costmodel.cardinality import CardinalityCostModel
+from repro.costmodel.engine_model import EngineCostModel
+from repro.engine.catalog import Catalog, CatalogError
+from repro.engine.executor import PlanExecutor
+from repro.engine.table import Table
+from repro.workloads.queries import single_column_queries
+
+
+class AdversarialEstimator:
+    """Returns arbitrary (but deterministic per set) positive counts."""
+
+    def __init__(self, base_rows, seed):
+        self.base_rows = base_rows
+        self._seed = seed
+        self._cache = {}
+
+    def rows(self, columns):
+        columns = frozenset(columns)
+        if columns not in self._cache:
+            digest = hash((self._seed, tuple(sorted(columns)))) & 0xFFFF
+            self._cache[columns] = 1.0 + digest % (2 * self.base_rows)
+        return self._cache[columns]
+
+    def row_width(self, columns):
+        return 8.0 * len(columns) + 8.0
+
+
+def small_table(seed=0, n=400):
+    rng = np.random.default_rng(seed)
+    return Table(
+        "t",
+        {
+            "a": rng.integers(0, 4, n),
+            "b": rng.integers(0, 50, n),
+            "c": rng.integers(0, n, n),
+            "d": rng.integers(0, 9, n),
+        },
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), model=st.sampled_from(["card", "engine"]))
+def test_garbage_statistics_never_break_correctness(seed, model):
+    table = small_table()
+    estimator = AdversarialEstimator(table.num_rows, seed)
+    if model == "card":
+        coster = PlanCoster(CardinalityCostModel(estimator))
+    else:
+        coster = PlanCoster(EngineCostModel(estimator, base_row_width=32.0))
+    optimizer = GbMqoOptimizer(coster, OptimizerOptions())
+    queries = single_column_queries(table.column_names)
+    result = optimizer.optimize("t", queries)
+    result.plan.validate()
+
+    catalog = Catalog()
+    catalog.add_table(table)
+    executor = PlanExecutor(catalog, "t")
+    run = executor.execute(result.plan)
+    naive = executor.execute(naive_plan("t", queries))
+    for query in queries:
+        assert sorted(run.results[query].to_rows()) == sorted(
+            naive.results[query].to_rows()
+        )
+    assert catalog.temp_names() == ()
+
+
+class ExplodingEstimator:
+    base_rows = 100
+
+    def rows(self, columns):
+        if len(columns) > 1:
+            raise RuntimeError("statistics store unavailable")
+        return 5.0
+
+    def row_width(self, columns):
+        return 16.0
+
+
+def test_estimator_failure_surfaces_cleanly():
+    """A failing statistics source aborts optimization with the original
+    error — no partial state, no swallowed exception."""
+    coster = PlanCoster(CardinalityCostModel(ExplodingEstimator()))
+    optimizer = GbMqoOptimizer(coster)
+    with pytest.raises(RuntimeError, match="statistics store"):
+        optimizer.optimize("t", [frozenset("a"), frozenset("b")])
+
+
+def test_executor_missing_base_table():
+    catalog = Catalog()
+    executor = PlanExecutor(catalog, "ghost")
+    with pytest.raises(CatalogError):
+        executor.execute(naive_plan("ghost", [frozenset("a")]))
+
+
+def test_mid_plan_failure_cleans_temps():
+    """A query failure halfway through a plan must not leak temps."""
+    table = small_table()
+    catalog = Catalog()
+    catalog.add_table(table)
+    executor = PlanExecutor(catalog, "t")
+    from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+
+    # Child references a column the temp will not have -> SchemaError
+    # after the parent temp was materialized.
+    bad_child = SubPlan.leaf(frozenset(["zz"]))
+    root = SubPlan(
+        PlanNode(frozenset(["a", "b", "zz"])), (bad_child,), False
+    )
+    plan = LogicalPlan("t", (root,), frozenset([frozenset(["zz"])]))
+    with pytest.raises(Exception):
+        executor.execute(plan)
+    assert catalog.temp_names() == ()
+    assert catalog.current_temp_bytes == 0
+
+
+def test_estimates_of_zero_rows_do_not_crash():
+    class ZeroEstimator:
+        base_rows = 0
+
+        def rows(self, columns):
+            return 0.0
+
+        def row_width(self, columns):
+            return 8.0
+
+    coster = PlanCoster(CardinalityCostModel(ZeroEstimator()))
+    optimizer = GbMqoOptimizer(coster)
+    result = optimizer.optimize("t", [frozenset("a"), frozenset("b")])
+    result.plan.validate()

@@ -1,0 +1,121 @@
+"""Unit tests for cardinality estimation and the what-if registry."""
+
+import numpy as np
+import pytest
+
+from repro.stats.cardinality import (
+    COUNT_WIDTH,
+    ExactCardinalityEstimator,
+    SampledCardinalityEstimator,
+)
+from repro.stats.whatif import HypotheticalTable, WhatIfRegistry
+from tests.conftest import brute_force_group_by
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+class TestExactEstimator:
+    def test_single_column(self, tiny_table):
+        estimator = ExactCardinalityEstimator(tiny_table)
+        assert estimator.rows(fs("a")) == 3.0
+        assert estimator.rows(fs("b")) == 2.0
+
+    def test_combination(self, tiny_table):
+        estimator = ExactCardinalityEstimator(tiny_table)
+        expected = len(brute_force_group_by(tiny_table, ["a", "b"]))
+        assert estimator.rows(fs("a", "b")) == expected
+
+    def test_empty_set_is_one(self, tiny_table):
+        estimator = ExactCardinalityEstimator(tiny_table)
+        assert estimator.rows(frozenset()) == 1.0
+
+    def test_base_rows(self, tiny_table):
+        assert ExactCardinalityEstimator(tiny_table).base_rows == 12
+
+    def test_row_width_includes_count(self, tiny_table):
+        estimator = ExactCardinalityEstimator(tiny_table)
+        assert estimator.row_width(fs("a")) == 8 + COUNT_WIDTH
+
+    def test_caching(self, tiny_table):
+        estimator = ExactCardinalityEstimator(tiny_table)
+        first = estimator.rows(fs("a", "b"))
+        assert estimator.rows(fs("a", "b")) == first
+
+
+class TestSampledEstimator:
+    @pytest.fixture
+    def table(self, random_table):
+        return random_table
+
+    def test_full_sample_is_exact(self, table):
+        estimator = SampledCardinalityEstimator(
+            table, sample_rows=table.num_rows
+        )
+        exact = ExactCardinalityEstimator(table)
+        for columns in (fs("low"), fs("mid"), fs("low", "mid")):
+            assert estimator.rows(columns) == exact.rows(columns)
+
+    def test_estimates_within_table_size(self, table):
+        estimator = SampledCardinalityEstimator(table, sample_rows=500)
+        for columns in (fs("high"), fs("high", "mid"), fs("low")):
+            assert 1 <= estimator.rows(columns) <= table.num_rows
+
+    def test_low_cardinality_accurate(self, table):
+        estimator = SampledCardinalityEstimator(table, sample_rows=1_000)
+        assert estimator.rows(fs("low")) == pytest.approx(5, abs=1)
+
+    def test_statistics_metered(self, table):
+        estimator = SampledCardinalityEstimator(table, sample_rows=500)
+        estimator.rows(fs("low", "mid"))
+        created = estimator.created_statistics
+        # Singles built first, then the pair.
+        assert fs("low") in created and fs("mid") in created
+        assert created[-1] == fs("low", "mid")
+        assert estimator.creation_seconds > 0
+
+    def test_statistics_created_once(self, table):
+        estimator = SampledCardinalityEstimator(table, sample_rows=500)
+        estimator.rows(fs("low"))
+        estimator.rows(fs("low"))
+        assert estimator.created_statistics.count(fs("low")) == 1
+
+    def test_product_cap(self, table):
+        estimator = SampledCardinalityEstimator(table, sample_rows=2_000)
+        single_product = estimator.rows(fs("low")) * estimator.rows(fs("txt"))
+        assert estimator.rows(fs("low", "txt")) <= single_product + 1e-9
+
+    def test_near_key_not_underestimated(self, table):
+        """The regression the hybrid estimator exists for: a near-key
+        pair must not be underestimated by ~sqrt(N/n)."""
+        estimator = SampledCardinalityEstimator(table, sample_rows=1_000)
+        exact = ExactCardinalityEstimator(table)
+        true_rows = exact.rows(fs("high", "mid"))
+        assert estimator.rows(fs("high", "mid")) >= true_rows / 2
+
+
+class TestWhatIf:
+    def test_create_and_lookup(self):
+        registry = WhatIfRegistry()
+        registry.create(fs("a", "b"), 100.0, 24.0)
+        table = registry.lookup(fs("b", "a"))
+        assert table is not None
+        assert table.est_rows == 100.0
+        assert registry.calls == 1
+
+    def test_lookup_missing(self):
+        assert WhatIfRegistry().lookup(fs("a")) is None
+
+    def test_size_and_describe(self):
+        table = HypotheticalTable(fs("a"), 10.0, 16.0)
+        assert table.size_bytes() == 160.0
+        assert "GROUP BY (a)" in table.describe()
+        assert table.name == "whatif_a"
+
+    def test_iteration(self):
+        registry = WhatIfRegistry()
+        registry.create(fs("a"), 1.0, 8.0)
+        registry.create(fs("b"), 2.0, 8.0)
+        assert len(registry) == 2
+        assert {t.est_rows for t in registry} == {1.0, 2.0}

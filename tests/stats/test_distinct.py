@@ -1,0 +1,114 @@
+"""Unit + property tests for distinct-value estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.distinct import (
+    ESTIMATORS,
+    chao_estimate,
+    estimate_distinct,
+    frequency_profile,
+    gee_estimate,
+    hybrid_estimate,
+    jackknife_estimate,
+)
+
+
+class TestFrequencyProfile:
+    def test_counts(self):
+        d, f = frequency_profile(np.array([1, 1, 2, 3, 3, 3]))
+        assert d == 3
+        assert list(f) == [1, 1, 1]  # one singleton, one pair, one triple
+
+    def test_empty(self):
+        d, f = frequency_profile(np.array([], dtype=np.int64))
+        assert d == 0 and len(f) == 0
+
+
+class TestEstimatorBasics:
+    @pytest.mark.parametrize("name", sorted(ESTIMATORS))
+    def test_full_sample_is_exact(self, name):
+        sample = np.array([1, 2, 2, 3])
+        assert estimate_distinct(sample, 4, 4, name) == 3.0
+
+    @pytest.mark.parametrize("name", sorted(ESTIMATORS))
+    def test_empty_sample(self, name):
+        sample = np.array([], dtype=np.int64)
+        assert estimate_distinct(sample, 0, 100, name) == 0.0
+
+    def test_unknown_estimator(self):
+        with pytest.raises(ValueError):
+            estimate_distinct(np.array([1]), 1, 10, "magic")
+
+    def test_gee_all_singletons(self):
+        # GEE = sqrt(N/n) * f1 for a duplicate-free sample.
+        sample = np.arange(100)
+        assert gee_estimate(sample, 100, 10_000) == pytest.approx(
+            np.sqrt(100) * 100
+        )
+
+    def test_chao_formula(self):
+        # d=3, f1=1, f2=1 -> 3 + 1/2.
+        sample = np.array([1, 1, 2, 3, 3, 3])
+        assert chao_estimate(sample, 6, 1000) == pytest.approx(3.5)
+
+    def test_chao_no_pairs_falls_back(self):
+        sample = np.array([1, 2, 3])
+        assert chao_estimate(sample, 3, 900) == gee_estimate(sample, 3, 900)
+
+    def test_jackknife_correction(self):
+        sample = np.array([1, 1, 2])  # d=2, f1=1
+        est = jackknife_estimate(sample, 3, 300)
+        assert est > 2.0
+
+    def test_hybrid_key_detection(self):
+        # Duplicate-free sample of a key column scales linearly.
+        sample = np.arange(1000)
+        assert hybrid_estimate(sample, 1000, 50_000) == pytest.approx(50_000)
+
+    def test_hybrid_birthday_collisions_use_chao(self):
+        # Near-key with a couple of collisions: Chao rescues the GEE
+        # underestimate (the failure mode the optimizer hit in practice).
+        sample = np.concatenate([np.arange(998), [0, 1]])
+        est = hybrid_estimate(sample, 1000, 100_000)
+        gee = gee_estimate(sample, 1000, 100_000)
+        assert est > gee
+
+    def test_hybrid_dense_column_matches_gee(self):
+        rng = np.random.default_rng(0)
+        sample = rng.integers(0, 20, 1000)
+        assert hybrid_estimate(sample, 1000, 100_000) == pytest.approx(
+            gee_estimate(sample, 1000, 100_000)
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 50), min_size=1, max_size=300),
+    population_factor=st.integers(1, 100),
+)
+def test_estimates_clamped(values, population_factor):
+    """Property: every estimator stays within [observed d, population]."""
+    sample = np.array(values)
+    n = len(values)
+    population = n * population_factor
+    d = len(np.unique(sample))
+    for name in ESTIMATORS:
+        estimate = estimate_distinct(sample, n, population, name)
+        assert d <= estimate <= population
+
+
+@settings(max_examples=30, deadline=None)
+@given(true_distinct=st.integers(2, 500), seed=st.integers(0, 1000))
+def test_gee_reasonable_on_uniform_data(true_distinct, seed):
+    """GEE on uniform data stays within its sqrt(N/n) guarantee band."""
+    rng = np.random.default_rng(seed)
+    population = 20_000
+    n = 2_000
+    column = rng.integers(0, true_distinct, population)
+    sample = rng.choice(column, n, replace=False)
+    estimate = gee_estimate(sample, n, population)
+    ratio = np.sqrt(population / n)
+    actual = len(np.unique(column))
+    assert actual / (ratio * 1.5) <= estimate <= actual * ratio * 1.5

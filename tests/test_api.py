@@ -1,0 +1,120 @@
+"""Unit tests for the public Session facade."""
+
+import pytest
+
+from repro.api import RunOutcome, Session
+from repro.core.optimizer import OptimizerOptions
+from repro.costmodel.cardinality import CardinalityCostModel
+from repro.costmodel.engine_model import EngineCostModel
+from repro.workloads.queries import single_column_queries
+
+
+@pytest.fixture
+def queries(random_table):
+    return single_column_queries(random_table.column_names)
+
+
+class TestConstruction:
+    def test_for_table_exact(self, random_table):
+        session = Session.for_table(random_table, statistics="exact")
+        assert session.base_table == "r"
+        assert session.catalog.get("r") is random_table
+
+    def test_for_table_sampled(self, random_table):
+        session = Session.for_table(random_table, statistics="sampled")
+        assert session.estimator.base_rows == random_table.num_rows
+
+    def test_unknown_statistics(self, random_table):
+        with pytest.raises(ValueError):
+            Session.for_table(random_table, statistics="vibes")
+
+    def test_unknown_cost_model(self, random_table):
+        session = Session.for_table(random_table, cost_model="tarot")
+        with pytest.raises(ValueError):
+            session.coster()
+
+    def test_cost_model_selection(self, random_table):
+        engine = Session.for_table(random_table, cost_model="engine")
+        assert isinstance(engine.coster().model, EngineCostModel)
+        cardinality = Session.for_table(
+            random_table, cost_model="cardinality"
+        )
+        assert isinstance(cardinality.coster().model, CardinalityCostModel)
+
+
+class TestCosterLifecycle:
+    def test_coster_cached(self, session):
+        assert session.coster() is session.coster()
+
+    def test_create_index_invalidates(self, session):
+        before = session.coster()
+        session.create_index(("low",))
+        assert session.coster() is not before
+
+    def test_explicit_invalidation(self, session):
+        before = session.coster()
+        session.invalidate_coster()
+        assert session.coster() is not before
+
+
+class TestRun:
+    def test_run_returns_both(self, session, queries):
+        outcome = session.run(queries)
+        assert isinstance(outcome, RunOutcome)
+        outcome.optimization.plan.validate()
+        assert len(outcome.execution.results) == len(queries)
+
+    def test_run_with_options(self, session, queries):
+        outcome = session.run(
+            queries, OptimizerOptions(binary_tree_only=True)
+        )
+        for subplan in outcome.optimization.plan.iter_subplans():
+            assert len(subplan.children) in (0, 2)
+
+    def test_unknown_schedule(self, session, queries):
+        result = session.optimize(queries)
+        with pytest.raises(ValueError):
+            session.execute(result.plan, schedule="reverse")
+
+    def test_naive_answers_everything(self, session, queries):
+        run = session.run_naive(queries)
+        assert set(run.results) == set(queries)
+
+
+class TestPlanCache:
+    def test_disabled_by_default(self, session, queries):
+        session.optimize(queries)
+        session.optimize(queries)
+        assert session.plan_cache_hits == 0
+
+    def test_hit_on_repeat(self, random_table, queries):
+        session = Session.for_table(random_table, statistics="exact")
+        session.enable_plan_cache = True
+        first = session.optimize(queries)
+        second = session.optimize(queries)
+        assert session.plan_cache_hits == 1
+        assert second is first
+
+    def test_options_part_of_key(self, random_table, queries):
+        session = Session.for_table(random_table, statistics="exact")
+        session.enable_plan_cache = True
+        session.optimize(queries)
+        session.optimize(queries, OptimizerOptions(binary_tree_only=True))
+        assert session.plan_cache_hits == 0
+
+    def test_physical_design_invalidates(self, random_table, queries):
+        session = Session.for_table(random_table, statistics="exact")
+        session.enable_plan_cache = True
+        session.optimize(queries)
+        session.create_index(("low",))
+        session.optimize(queries)
+        assert session.plan_cache_hits == 0
+
+
+class TestPerStepAttribution:
+    def test_per_query_bytes_populated(self, session, queries):
+        result = session.optimize(queries)
+        run = session.execute(result.plan)
+        attributed = run.metrics.per_query_bytes
+        assert attributed
+        assert sum(attributed.values()) == run.metrics.work

@@ -1,0 +1,153 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine.csv_io import save_csv
+from repro.engine.table import Table
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    rng = np.random.default_rng(0)
+    n = 2_000
+    table = Table(
+        "orders",
+        {
+            "region": rng.integers(0, 5, n),
+            "state": rng.integers(0, 40, n),
+            "status": rng.choice(np.array(["open", "done"]), n),
+            "order_id": np.arange(n),
+        },
+    )
+    path = tmp_path / "orders.csv"
+    save_csv(table, path)
+    return str(path)
+
+
+class TestProfile:
+    def test_runs_and_reports(self, csv_path, capsys):
+        assert main(["profile", csv_path, "--statistics", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert "profile of orders" in out
+        assert "region" in out
+        assert "almost a key" in out  # order_id detected
+
+    def test_column_selection(self, csv_path, capsys):
+        main(["profile", csv_path, "--columns", "region,status"])
+        out = capsys.readouterr().out
+        assert "region" in out
+        assert "order_id" not in out
+
+    def test_key_candidates(self, csv_path, capsys):
+        main(
+            [
+                "profile", csv_path,
+                "--key", "region,state;order_id",
+                "--statistics", "exact",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "(region, state) is NOT a key" in out
+        assert "(order_id) is a key" in out
+
+    def test_combi(self, csv_path, capsys):
+        main(
+            [
+                "profile", csv_path,
+                "--columns", "region,status",
+                "--combi", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "(region,status):" in out
+
+
+class TestPlan:
+    def test_explicit_queries_and_sql(self, csv_path, capsys):
+        main(
+            [
+                "plan", csv_path,
+                "--queries", "region;state;region,state",
+                "--statistics", "exact",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "SQL script" in out
+        assert "GROUP BY" in out
+        assert "optimizer calls" in out
+
+    def test_dot_output(self, csv_path, capsys):
+        main(["plan", csv_path, "--dot", "--columns", "region,state"])
+        out = capsys.readouterr().out
+        assert "digraph gbmqo {" in out
+
+
+class TestCompare:
+    def test_compare_prints_timings(self, csv_path, capsys):
+        assert main(["compare", csv_path, "--statistics", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert "naive:" in out
+        assert "GB-MQO:" in out
+        assert "speedup vs naive" in out
+
+    def test_max_rows(self, csv_path, capsys):
+        main(["profile", csv_path, "--max-rows", "100"])
+        out = capsys.readouterr().out
+        assert "100 rows" in out.replace(",", "")
+
+
+class TestSql:
+    def test_grouping_sets_statement(self, csv_path, capsys):
+        code = main(
+            [
+                "sql", csv_path,
+                "SELECT region, COUNT(*) FROM orders "
+                "GROUP BY GROUPING SETS ((region), (status))",
+                "--statistics", "exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy: direct" in out
+        assert "result rows" in out
+
+    def test_where_clause_uses_selection_pushdown(self, csv_path, capsys):
+        main(
+            [
+                "sql", csv_path,
+                "SELECT region FROM orders WHERE state > 20 "
+                "GROUP BY GROUPING SETS ((region), (status))",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "strategy: selection_pushdown" in out
+
+    def test_cube_statement(self, csv_path, capsys):
+        main(
+            [
+                "sql", csv_path,
+                "SELECT COUNT(*) FROM orders GROUP BY CUBE (region, status)",
+                "--limit", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "strategy: direct" in out
+
+
+class TestErrorHandling:
+    def test_missing_file(self, capsys):
+        assert main(["profile", "/nonexistent/x.csv"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_sql(self, csv_path, capsys):
+        code = main(["sql", csv_path, "DROP TABLE orders"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_csv(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        assert main(["profile", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err

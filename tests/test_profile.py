@@ -1,0 +1,83 @@
+"""Unit tests for the data-quality profiler."""
+
+import pytest
+
+from repro.profile import profile_table
+from repro.workloads.customers import make_customers
+
+
+@pytest.fixture(scope="module")
+def report():
+    table = make_customers(8_000, duplicate_rate=0.02)
+    return profile_table(
+        table,
+        key_candidates=[
+            ("last_name", "first_name", "middle_initial", "zip"),
+            ("last_name", "first_name", "middle_initial", "zip", "address"),
+        ],
+        statistics="exact",
+    )
+
+
+class TestColumns:
+    def test_all_columns_profiled(self, report):
+        assert len(report.columns) == 8
+
+    def test_null_fractions_detected(self, report):
+        middle = report.column("middle_initial")
+        assert middle.null_fraction > 0.05
+        assert "NULLs" in " ".join(middle.flags())
+
+    def test_distinct_counts(self, report):
+        assert report.column("gender").n_distinct == 3  # F, M, NULL
+        assert report.column("state").n_distinct == 50
+
+    def test_key_like_detection(self, report):
+        assert report.column("address").is_key_like
+        assert not report.column("state").is_key_like
+
+    def test_top_values_ordered(self, report):
+        top = report.column("state").top_values
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+        assert len(top) == 3
+
+    def test_min_max(self, report):
+        zipcode = report.column("zip")
+        assert zipcode.max_value <= 99_999
+
+    def test_unknown_column_raises(self, report):
+        with pytest.raises(KeyError):
+            report.column("nope")
+
+
+class TestKeyChecks:
+    def test_near_key_fails(self, report):
+        check = report.key_checks[0]
+        assert not check.is_key
+        assert check.duplicate_groups > 0
+        assert "NOT a key" in check.describe()
+
+    def test_wide_candidate_is_key(self, report):
+        check = report.key_checks[1]
+        assert check.is_key
+        assert "is a key" in check.describe()
+
+
+class TestReport:
+    def test_render(self, report):
+        text = report.render()
+        assert "profile of customer" in text
+        assert "NOT a key" in text
+        assert "middle_initial" in text
+
+    def test_optimization_attached(self, report):
+        assert report.optimization is not None
+        report.optimization.plan.validate()
+
+    def test_column_subset(self):
+        table = make_customers(2_000)
+        narrow = profile_table(
+            table, columns=["state", "gender"], statistics="exact"
+        )
+        assert [p.column for p in narrow.columns] == ["state", "gender"]

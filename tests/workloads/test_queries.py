@@ -1,0 +1,88 @@
+"""Unit tests for the query workload builders."""
+
+import pytest
+
+from repro.engine.table import Table
+from repro.workloads.queries import (
+    containment_workload,
+    random_subset_workloads,
+    single_column_queries,
+    two_column_queries,
+    widen_table,
+)
+
+
+class TestBuilders:
+    def test_single_column(self):
+        queries = single_column_queries(["a", "b"])
+        assert queries == [frozenset(["a"]), frozenset(["b"])]
+
+    def test_two_column_count(self):
+        queries = two_column_queries(list("abcd"))
+        assert len(queries) == 6
+        assert all(len(q) == 2 for q in queries)
+
+    def test_containment(self):
+        queries = containment_workload(["s", "c", "r"])
+        assert len(queries) == 6
+        singles = [q for q in queries if len(q) == 1]
+        pairs = [q for q in queries if len(q) == 2]
+        assert len(singles) == 3 and len(pairs) == 3
+
+    def test_random_subsets_shape(self):
+        workloads = random_subset_workloads(list("abcdefghij"), 7, 10, seed=1)
+        assert len(workloads) == 10
+        for workload in workloads:
+            assert len(workload) == 7
+            assert all(len(q) == 1 for q in workload)
+
+    def test_random_subsets_deterministic(self):
+        w1 = random_subset_workloads(list("abcdef"), 3, 4, seed=9)
+        w2 = random_subset_workloads(list("abcdef"), 3, 4, seed=9)
+        assert w1 == w2
+
+
+class TestWiden:
+    @pytest.fixture
+    def table(self):
+        return Table("t", {"a": [1, 2], "b": [3, 4]})
+
+    def test_repeat_columns(self, table):
+        wide = widen_table(table, 5)
+        assert len(wide.column_names) == 5
+        assert "a__rep1" in wide
+        assert list(wide["a__rep1"]) == list(wide["a"])
+
+    def test_narrowing_projects(self, table):
+        narrow = widen_table(table, 1)
+        assert narrow.column_names == ("a",)
+
+    def test_multiple_repetitions(self, table):
+        wide = widen_table(table, 7)
+        assert "a__rep2" in wide
+        assert len(wide.column_names) == 7
+
+
+class TestCombi:
+    def test_combi_is_union_of_levels(self):
+        from repro.workloads.queries import combi_workload
+
+        queries = combi_workload(list("abcd"), 2)
+        singles = [q for q in queries if len(q) == 1]
+        pairs = [q for q in queries if len(q) == 2]
+        assert len(singles) == 4 and len(pairs) == 6
+        assert len(queries) == 10
+
+    def test_combi_full_power_set(self):
+        from repro.workloads.queries import combi_workload
+
+        queries = combi_workload(list("abc"), 5)
+        assert len(queries) == 7  # 2^3 - 1, size capped at n
+
+    def test_combi_invalid_size(self):
+        import pytest
+
+        from repro.workloads.queries import combi_workload
+
+        with pytest.raises(ValueError):
+            combi_workload(["a"], 0)
