@@ -1,0 +1,49 @@
+"""Static analysis for GB-MQO: plan verification and codebase linting.
+
+Two layers, one diagnostic vocabulary:
+
+* **Plan verifier** (:mod:`repro.analysis.verifier`) — a rule-based
+  checker over :class:`~repro.core.plan.LogicalPlan` trees and their
+  serialized JSON form.  Each rule enforces one structural invariant
+  the paper states (edge column containment, required-query coverage,
+  materialization/fan-out consistency, storage bounds, ...) and emits
+  structured :class:`~repro.analysis.diagnostics.Diagnostic` records.
+* **Codebase linter** (:mod:`repro.analysis.linter`) — custom
+  ``ast``-module lints over the ``repro`` sources themselves (frozen
+  dataclass mutation, missing future-annotations imports, object-dtype
+  arrays in engine hot paths, quadratic list membership, bare except,
+  un-parameterized generics in ``core``).
+
+Both are exposed through the CLI (``repro lint-plan`` /
+``repro lint-code``) and gated in ``tests/analysis``.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.linter import CODE_RULES, lint_paths, lint_source
+from repro.analysis.planrules import PLAN_RULES, PlanRule
+from repro.analysis.verifier import (
+    STRUCTURAL_RULES,
+    PlanVerificationError,
+    VerifyContext,
+    check_payload,
+    check_plan,
+    verify_payload,
+    verify_plan,
+)
+
+__all__ = [
+    "CODE_RULES",
+    "Diagnostic",
+    "PLAN_RULES",
+    "PlanRule",
+    "PlanVerificationError",
+    "STRUCTURAL_RULES",
+    "Severity",
+    "VerifyContext",
+    "check_payload",
+    "check_plan",
+    "lint_paths",
+    "lint_source",
+    "verify_payload",
+    "verify_plan",
+]

@@ -1,0 +1,93 @@
+"""Structured diagnostics shared by the plan verifier and code linter.
+
+A :class:`Diagnostic` is one finding: which rule fired, how severe it
+is, where (a plan-node path like ``subplans[1].children[0]`` or a
+``file:line`` location), what went wrong, and — when the rule knows —
+how to fix it.  Keeping findings structured instead of raising on the
+first problem lets callers batch, filter, render, or gate on them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ERROR findings make a plan unusable (or code unacceptable);
+    WARNING findings flag waste or suspicious structure that does not
+    affect correctness of results.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from a verifier or linter rule.
+
+    Args:
+        rule: stable rule identifier, e.g. ``PV102`` or ``CL205``.
+        severity: :class:`Severity` of the finding.
+        location: where the finding is — a plan-node path for plan
+            rules, ``path:line`` for code rules.
+        message: what is wrong, in one sentence.
+        hint: optional suggestion for fixing the finding.
+    """
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """Render the finding as a one-line report entry."""
+        text = f"{self.severity}: [{self.rule}] {self.location}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class DiagnosticCollector:
+    """Accumulates diagnostics during one verification / lint run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def emit(
+        self,
+        rule: str,
+        severity: Severity,
+        location: str,
+        message: str,
+        hint: str = "",
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(rule, severity, location, message, hint)
+        )
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+
+def format_report(diagnostics: list[Diagnostic]) -> str:
+    """Render a diagnostic list the way the CLI prints it."""
+    if not diagnostics:
+        return "no diagnostics"
+    lines = [d.format() for d in diagnostics]
+    n_errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    n_warnings = len(diagnostics) - n_errors
+    lines.append(f"{n_errors} error(s), {n_warnings} warning(s)")
+    return "\n".join(lines)

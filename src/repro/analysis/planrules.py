@@ -1,0 +1,436 @@
+"""The plan-invariant rule catalog (verifier Layer 1).
+
+Each rule enforces one structural invariant of the paper's plan model
+over a :class:`~repro.analysis.planview.PlanView`.  Rules are
+registered in :data:`PLAN_RULES` with a stable id, the invariant in one
+line, and the paper section that states it — the same triple the docs
+render as the rule catalog.
+
+Rules never mutate the view and never raise on invalid plans; they emit
+:class:`~repro.analysis.diagnostics.Diagnostic` records.  Rules whose
+invariant needs external context (a cost model, a storage limit) declare
+it via ``requires`` and are skipped when the context does not carry it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.analysis.diagnostics import DiagnosticCollector, Severity
+from repro.analysis.planview import NodeView, PlanView
+from repro.core.plan import NodeKind, PlanError, PlanNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.verifier import VerifyContext
+
+CheckFn = Callable[[PlanView, "VerifyContext", DiagnosticCollector], None]
+
+
+@dataclass(frozen=True)
+class PlanRule:
+    """One verifier rule: id, invariant, provenance, and checker.
+
+    Args:
+        rule_id: stable identifier (``PV...``).
+        name: short kebab-case name.
+        invariant: the property being enforced, in one sentence.
+        paper_section: where the paper states it.
+        severity: severity of findings this rule emits.
+        check: the rule body.
+        requires: context attributes that must be non-None for the rule
+            to run (e.g. ``('coster',)``).
+    """
+
+    rule_id: str
+    name: str
+    invariant: str
+    paper_section: str
+    severity: Severity
+    check: CheckFn
+    requires: tuple[str, ...] = ()
+
+
+#: Ordered registry of every plan rule, keyed by rule id.
+PLAN_RULES: dict[str, PlanRule] = {}
+
+
+def plan_rule(
+    rule_id: str,
+    name: str,
+    invariant: str,
+    paper_section: str,
+    severity: Severity = Severity.ERROR,
+    requires: tuple[str, ...] = (),
+) -> Callable[[CheckFn], CheckFn]:
+    """Register a checker function as a plan rule."""
+
+    def register(check: CheckFn) -> CheckFn:
+        if rule_id in PLAN_RULES:
+            raise ValueError(f"duplicate plan rule id {rule_id}")
+        PLAN_RULES[rule_id] = PlanRule(
+            rule_id, name, invariant, paper_section, severity, check, requires
+        )
+        return check
+
+    return register
+
+
+def _fmt(columns: frozenset[str]) -> str:
+    return "(" + ",".join(sorted(columns)) + ")"
+
+
+def _answered_by(node: NodeView) -> set[frozenset[str]]:
+    """Required queries this single node answers (not its subtree)."""
+    answered: set[frozenset[str]] = set()
+    if node.kind is NodeKind.GROUP_BY and node.required:
+        answered.add(node.columns)
+    answered.update(node.direct_answers)
+    return answered
+
+
+def _subtree_answers(node: NodeView) -> set[frozenset[str]]:
+    answered: set[frozenset[str]] = set()
+    for sub in node.iter_nodes():
+        answered.update(_answered_by(sub))
+    return answered
+
+
+def _node_can_answer(node: NodeView, query: frozenset[str]) -> bool:
+    """Mirror of ``PlanNode.answers`` that tolerates invalid views."""
+    if node.kind is NodeKind.GROUP_BY:
+        return query == node.columns
+    if node.kind is NodeKind.CUBE:
+        return query <= node.columns
+    if node.kind is NodeKind.ROLLUP:
+        prefixes = {
+            frozenset(node.rollup_order[:i])
+            for i in range(1, len(node.rollup_order) + 1)
+        }
+        return query in prefixes
+    return False
+
+
+@plan_rule(
+    "PV001",
+    "well-formed-node",
+    "Every node has a non-empty column set and a known operator kind.",
+    "§3.1",
+)
+def check_well_formed(view, ctx, out) -> None:
+    for node in view.iter_nodes():
+        if not node.columns:
+            out.emit(
+                "PV001",
+                Severity.ERROR,
+                node.path,
+                "node has an empty grouping column set",
+                hint="every Group By node needs at least one column",
+            )
+        if node.kind is None:
+            out.emit(
+                "PV001",
+                Severity.ERROR,
+                node.path,
+                f"unknown operator kind {node.kind_label!r}",
+                hint="expected one of group_by, cube, rollup",
+            )
+
+
+@plan_rule(
+    "PV002",
+    "edge-column-subset",
+    "On every edge u -> v, v's columns are a strict subset of u's.",
+    "§3.1",
+)
+def check_edge_subset(view, ctx, out) -> None:
+    for parent, child in view.iter_edges():
+        if parent is None:
+            continue
+        if not child.columns < parent.columns:
+            out.emit(
+                "PV002",
+                Severity.ERROR,
+                child.path,
+                f"child {_fmt(child.columns)} is not a strict subset of "
+                f"parent {_fmt(parent.columns)}",
+                hint="a node can only be computed from a coarser grouping",
+            )
+
+
+@plan_rule(
+    "PV003",
+    "required-coverage",
+    "Every required input query is answered somewhere in the plan.",
+    "§3.1",
+)
+def check_required_coverage(view, ctx, out) -> None:
+    answered: set[frozenset[str]] = set()
+    for root in view.roots:
+        answered.update(_subtree_answers(root))
+    for query in sorted(view.required - answered, key=sorted):
+        out.emit(
+            "PV003",
+            Severity.ERROR,
+            "plan",
+            f"plan does not answer required query {_fmt(query)}",
+            hint="add a node (or direct answer) covering the query",
+        )
+
+
+@plan_rule(
+    "PV004",
+    "answer-consistency",
+    "Required marks and direct answers name only input queries the "
+    "node can actually produce.",
+    "§3.1",
+)
+def check_answer_consistency(view, ctx, out) -> None:
+    for node in view.iter_nodes():
+        if node.required and node.columns not in view.required:
+            out.emit(
+                "PV004",
+                Severity.ERROR,
+                node.path,
+                f"node {node.describe()} is marked required but "
+                f"{_fmt(node.columns)} is not an input query",
+                hint="clear the required flag or add the query to the input",
+            )
+        for query in sorted(node.direct_answers, key=sorted):
+            if query not in view.required:
+                out.emit(
+                    "PV004",
+                    Severity.ERROR,
+                    node.path,
+                    f"{_fmt(query)} is answered directly but is not an "
+                    "input query",
+                )
+            elif not _node_can_answer(node, query):
+                out.emit(
+                    "PV004",
+                    Severity.ERROR,
+                    node.path,
+                    f"node {node.describe()} cannot answer {_fmt(query)}",
+                    hint="CUBE answers subsets; ROLLUP answers prefixes",
+                )
+
+
+@plan_rule(
+    "PV005",
+    "answer-uniqueness",
+    "No required query is answered by more than one node.",
+    "§4.1",
+)
+def check_answer_uniqueness(view, ctx, out) -> None:
+    producers: dict[frozenset[str], list[NodeView]] = {}
+    for node in view.iter_nodes():
+        for query in _answered_by(node):
+            producers.setdefault(query, []).append(node)
+    for query, nodes in sorted(producers.items(), key=lambda kv: sorted(kv[0])):
+        if len(nodes) > 1:
+            paths = ", ".join(node.path for node in nodes)
+            out.emit(
+                "PV005",
+                Severity.ERROR,
+                paths,
+                f"required query {_fmt(query)} is answered {len(nodes)} "
+                "times",
+                hint="SubPlanMerge keeps exactly one producer per query",
+            )
+
+
+@plan_rule(
+    "PV006",
+    "spool-consistency",
+    "A node is materialized iff it has children; CUBE / ROLLUP "
+    "operators are leaves.",
+    "§3.1, §7.1",
+)
+def check_spool_consistency(view, ctx, out) -> None:
+    for node in view.iter_nodes():
+        if (
+            node.materialized_flag is not None
+            and node.materialized_flag != node.is_materialized
+        ):
+            state = "materialized" if node.is_materialized else "streamed"
+            out.emit(
+                "PV006",
+                Severity.ERROR,
+                node.path,
+                f"serialized materialization flag says "
+                f"{node.materialized_flag} but fan-out makes the node "
+                f"{state}",
+                hint="materialization is implied by having children",
+            )
+        if node.kind in (NodeKind.CUBE, NodeKind.ROLLUP) and node.children:
+            out.emit(
+                "PV006",
+                Severity.ERROR,
+                node.path,
+                f"{node.kind_label} node has {len(node.children)} "
+                "children; operator nodes answer queries directly and "
+                "must be leaves",
+            )
+
+
+@plan_rule(
+    "PV007",
+    "useless-subtree",
+    "Every subtree answers at least one required query.",
+    "§4.2",
+    severity=Severity.WARNING,
+)
+def check_useless_subtree(view, ctx, out) -> None:
+    def visit(node: NodeView) -> bool:
+        useful = bool(_answered_by(node))
+        for child in node.children:
+            useful |= visit(child)
+        if not useful:
+            # Report only the topmost dead node of a dead subtree.
+            return False
+        return True
+
+    for root in view.roots:
+        if not visit(root):
+            out.emit(
+                "PV007",
+                Severity.WARNING,
+                root.path,
+                f"subtree rooted at {root.describe()} answers no "
+                "required query",
+                hint="the hill climber never creates dead work; drop it",
+            )
+
+
+@plan_rule(
+    "PV008",
+    "rollup-order-coverage",
+    "A ROLLUP order lists each of the node's columns exactly once; "
+    "other kinds declare no order.",
+    "§7.1",
+)
+def check_rollup_order(view, ctx, out) -> None:
+    for node in view.iter_nodes():
+        if node.kind is NodeKind.ROLLUP:
+            order = node.rollup_order
+            if len(set(order)) != len(order) or frozenset(order) != node.columns:
+                out.emit(
+                    "PV008",
+                    Severity.ERROR,
+                    node.path,
+                    f"ROLLUP order ({','.join(order)}) does not cover "
+                    f"columns {_fmt(node.columns)} exactly once",
+                    hint="the order must be a permutation of the columns",
+                )
+        elif node.rollup_order:
+            out.emit(
+                "PV008",
+                Severity.ERROR,
+                node.path,
+                f"{node.kind_label} node declares a rollup_order",
+                hint="only ROLLUP nodes carry a column order",
+            )
+
+
+@plan_rule(
+    "PV009",
+    "cube-width-cap",
+    "No CUBE node is wider than the configured column cap.",
+    "§7.1",
+    requires=("cube_max_columns",),
+)
+def check_cube_width(view, ctx, out) -> None:
+    cap = ctx.cube_max_columns
+    for node in view.iter_nodes():
+        if node.kind is NodeKind.CUBE and len(node.columns) > cap:
+            out.emit(
+                "PV009",
+                Severity.ERROR,
+                node.path,
+                f"CUBE over {len(node.columns)} columns exceeds the "
+                f"cap of {cap} (lattice is exponential in width)",
+                hint="split the cube or raise cube_max_columns",
+            )
+
+
+def _plan_node(node: NodeView) -> PlanNode | None:
+    """Rebuild a PlanNode for costing; None when the view is invalid."""
+    if node.kind is None or not node.columns:
+        return None
+    try:
+        return PlanNode(node.columns, node.kind, node.rollup_order)
+    except PlanError:
+        return None
+
+
+@plan_rule(
+    "PV010",
+    "cost-monotonicity",
+    "Computing a node from its parent never costs more than computing "
+    "it from the base relation.",
+    "§3.2, §4.2",
+    severity=Severity.WARNING,
+    requires=("coster",),
+)
+def check_cost_monotonicity(view, ctx, out) -> None:
+    coster = ctx.coster
+    for parent, child in view.iter_edges():
+        if parent is None:
+            continue
+        parent_node = _plan_node(parent)
+        child_node = _plan_node(child)
+        if parent_node is None or child_node is None:
+            continue
+        materialize = child.is_materialized
+        via_parent = coster.edge_cost(parent_node, child_node, materialize)
+        via_base = coster.edge_cost(None, child_node, materialize)
+        if via_parent > via_base * (1.0 + ctx.epsilon) + ctx.epsilon:
+            out.emit(
+                "PV010",
+                Severity.WARNING,
+                child.path,
+                f"edge {_fmt(parent.columns)} -> {_fmt(child.columns)} "
+                f"costs {via_parent:.1f} but the base relation offers "
+                f"{via_base:.1f}",
+                hint="compute the node directly from the base relation",
+            )
+
+
+@plan_rule(
+    "PV011",
+    "storage-bound",
+    "The minimum peak intermediate storage of every sub-plan is "
+    "within the configured byte budget.",
+    "§4.4.2",
+    requires=("estimator", "max_storage_bytes"),
+)
+def check_storage_bound(view, ctx, out) -> None:
+    estimator = ctx.estimator
+    limit = ctx.max_storage_bytes
+
+    def size_of(node: NodeView) -> float:
+        if not node.is_materialized or not node.columns:
+            return 0.0
+        rows = estimator.rows(node.columns)
+        return rows * estimator.row_width(node.columns)
+
+    def storage(node: NodeView) -> float:
+        # The paper's Section 4.4.1 recursion over the view.
+        if not node.children:
+            return size_of(node)
+        own = size_of(node)
+        breadth_first = own + sum(size_of(child) for child in node.children)
+        depth_first = own + max(storage(child) for child in node.children)
+        return min(breadth_first, depth_first)
+
+    for root in view.roots:
+        peak = storage(root)
+        if peak > limit:
+            out.emit(
+                "PV011",
+                Severity.ERROR,
+                root.path,
+                f"sub-plan needs at least {peak:.0f} bytes of temp "
+                f"storage; the budget is {limit:.0f}",
+                hint="lower fan-out or raise max_storage_bytes",
+            )

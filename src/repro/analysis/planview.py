@@ -1,0 +1,195 @@
+"""Normalized, validation-free view of a logical plan.
+
+The verifier must be able to inspect *invalid* plans — but
+:class:`~repro.core.plan.SubPlan` refuses to construct one (its
+``__post_init__`` raises).  A :class:`PlanView` mirrors the plan tree
+as plain records with no invariants of its own, built either from a
+live :class:`~repro.core.plan.LogicalPlan` or from the serialized dict
+form of :mod:`repro.core.serialize`, so every rule can run over both
+and report violations instead of crashing on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.plan import LogicalPlan, NodeKind, SubPlan
+
+
+class PlanViewError(Exception):
+    """The payload is too malformed to build a view at all.
+
+    Raised only for *shape* problems (wrong JSON types, missing keys);
+    semantic violations are preserved in the view for rules to report.
+    """
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """One plan node as the verifier sees it.
+
+    Args:
+        columns: grouping columns (possibly empty in invalid payloads).
+        kind: resolved operator kind, or None when the payload names an
+            unknown kind (preserved in ``kind_label``).
+        kind_label: the raw operator-kind string.
+        rollup_order: declared ROLLUP column order.
+        required: the node's required-query flag.
+        direct_answers: queries the node claims to answer directly.
+        children: child node views.
+        path: tree address, e.g. ``subplans[0].children[1]``.
+        materialized_flag: an explicit materialization flag from the
+            serialized form, or None when the form leaves it implicit.
+    """
+
+    columns: frozenset[str]
+    kind: NodeKind | None
+    kind_label: str
+    rollup_order: tuple[str, ...]
+    required: bool
+    direct_answers: frozenset[frozenset[str]]
+    children: tuple["NodeView", ...]
+    path: str
+    materialized_flag: bool | None = None
+
+    @property
+    def is_materialized(self) -> bool:
+        """Fan-out implies materialization (the plan-model invariant)."""
+        return bool(self.children)
+
+    def iter_nodes(self) -> Iterator["NodeView"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def describe(self) -> str:
+        label = "(" + ",".join(sorted(self.columns)) + ")"
+        if self.kind is NodeKind.CUBE:
+            return f"CUBE{label}"
+        if self.kind is NodeKind.ROLLUP:
+            return "ROLLUP(" + ",".join(self.rollup_order) + ")"
+        return label
+
+
+@dataclass(frozen=True)
+class PlanView:
+    """A whole plan, normalized for rule evaluation."""
+
+    relation: str
+    required: frozenset[frozenset[str]]
+    roots: tuple[NodeView, ...] = field(default_factory=tuple)
+
+    def iter_nodes(self) -> Iterator[NodeView]:
+        for root in self.roots:
+            yield from root.iter_nodes()
+
+    def iter_edges(self) -> Iterator[tuple[NodeView | None, NodeView]]:
+        """All (parent, child) edges; parent None is the base relation."""
+        for root in self.roots:
+            yield (None, root)
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                for child in node.children:
+                    yield (node, child)
+                    stack.append(child)
+
+
+def _view_of_subplan(subplan: SubPlan, path: str) -> NodeView:
+    children = tuple(
+        _view_of_subplan(child, f"{path}.children[{i}]")
+        for i, child in enumerate(subplan.children)
+    )
+    return NodeView(
+        columns=frozenset(subplan.node.columns),
+        kind=subplan.node.kind,
+        kind_label=subplan.node.kind.value,
+        rollup_order=tuple(subplan.node.rollup_order),
+        required=subplan.required,
+        direct_answers=frozenset(
+            frozenset(q) for q in subplan.direct_answers
+        ),
+        children=children,
+        path=path,
+    )
+
+
+def view_of_plan(plan: LogicalPlan) -> PlanView:
+    """Build a view from a live (already-constructible) plan."""
+    roots = tuple(
+        _view_of_subplan(subplan, f"subplans[{i}]")
+        for i, subplan in enumerate(plan.subplans)
+    )
+    return PlanView(
+        relation=plan.relation,
+        required=frozenset(frozenset(q) for q in plan.required),
+        roots=roots,
+    )
+
+
+def _column_set(value: object, path: str) -> frozenset[str]:
+    if not isinstance(value, (list, tuple, set, frozenset)):
+        raise PlanViewError(f"{path}: columns must be a list, got {value!r}")
+    return frozenset(str(column) for column in value)
+
+
+def _view_of_payload(payload: object, path: str) -> NodeView:
+    if not isinstance(payload, dict):
+        raise PlanViewError(f"{path}: node must be an object, got {payload!r}")
+    kind_label = str(payload.get("kind", NodeKind.GROUP_BY.value))
+    try:
+        kind: NodeKind | None = NodeKind(kind_label)
+    except ValueError:
+        kind = None
+    raw_children = payload.get("children", ())
+    if not isinstance(raw_children, (list, tuple)):
+        raise PlanViewError(f"{path}: children must be a list")
+    children = tuple(
+        _view_of_payload(child, f"{path}.children[{i}]")
+        for i, child in enumerate(raw_children)
+    )
+    materialized = payload.get("materialized")
+    return NodeView(
+        columns=_column_set(payload.get("columns", ()), path),
+        kind=kind,
+        kind_label=kind_label,
+        rollup_order=tuple(
+            str(c) for c in payload.get("rollup_order", ())
+        ),
+        required=bool(payload.get("required", False)),
+        direct_answers=frozenset(
+            _column_set(q, f"{path}.direct_answers")
+            for q in payload.get("direct_answers", ())
+        ),
+        children=children,
+        path=path,
+        materialized_flag=(
+            bool(materialized) if materialized is not None else None
+        ),
+    )
+
+
+def view_of_payload(payload: dict) -> PlanView:
+    """Build a view from the serialized dict form of a plan.
+
+    Unlike :func:`repro.core.serialize.plan_from_dict`, this never
+    constructs plan dataclasses, so structurally invalid payloads
+    still yield a view the rules can diagnose.
+    """
+    if not isinstance(payload, dict):
+        raise PlanViewError(f"plan payload must be an object, got {payload!r}")
+    raw_subplans = payload.get("subplans", ())
+    if not isinstance(raw_subplans, (list, tuple)):
+        raise PlanViewError("subplans must be a list")
+    roots = tuple(
+        _view_of_payload(subplan, f"subplans[{i}]")
+        for i, subplan in enumerate(raw_subplans)
+    )
+    return PlanView(
+        relation=str(payload.get("relation", "")),
+        required=frozenset(
+            _column_set(q, "required") for q in payload.get("required", ())
+        ),
+        roots=roots,
+    )

@@ -6,19 +6,29 @@ Subcommands::
     python -m repro.cli profile data.csv [--combi 2] [--statistics sampled]
     python -m repro.cli plan data.csv --queries "city;state;city,state"
     python -m repro.cli compare data.csv [--combi 2]
+    python -m repro.cli lint-plan plan.json [--max-storage-bytes N]
+    python -m repro.cli lint-code [paths ...]
 
 ``profile`` runs the single-column (or Combi) workload through GB-MQO
 and prints a data-quality report; ``plan`` shows the chosen logical
 plan, the SQL script, and optionally DOT; ``compare`` times GB-MQO
-against the naive plan and the commercial-style GROUPING SETS strategy.
+against the naive plan and the commercial-style GROUPING SETS strategy;
+``lint-plan`` runs the static plan verifier over a serialized plan;
+``lint-code`` runs the custom AST lints over the repro sources.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
+from repro.analysis.diagnostics import Severity, format_report
+from repro.analysis.linter import lint_paths
+from repro.analysis.planview import PlanViewError
+from repro.analysis.verifier import VerifyContext, verify_payload
 from repro.api import Session
 from repro.baselines.grouping_sets import CommercialGroupingSetsPlanner
 from repro.core.visualize import plan_to_dot
@@ -157,6 +167,91 @@ def cmd_sql(args) -> int:
     return 0
 
 
+def _split_rules(spec: str | None) -> list[str] | None:
+    if not spec:
+        return None
+    return [rule.strip() for rule in spec.split(",") if rule.strip()]
+
+
+class _JsonStatsEstimator:
+    """Cardinality source for lint-plan, fed from a stats JSON file.
+
+    The file carries ``{"base_rows": N, "columns": {name: distinct}}``;
+    multi-column sets are estimated under independence, capped at the
+    base row count (the same shape the optimizer tests use).
+    """
+
+    def __init__(self, payload: dict) -> None:
+        self.base_rows = int(payload.get("base_rows", 1))
+        self._singles = {
+            str(k): float(v)
+            for k, v in dict(payload.get("columns", {})).items()
+        }
+
+    def rows(self, columns: frozenset) -> float:
+        product = 1.0
+        for column in columns:
+            product *= self._singles.get(column, 1.0)
+        return min(product, float(self.base_rows))
+
+    def row_width(self, columns: frozenset) -> float:
+        return 8.0 * len(columns) + 8.0
+
+
+def cmd_lint_plan(args) -> int:
+    text = Path(args.plan).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        print(f"error: {args.plan} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    estimator = None
+    if args.stats:
+        try:
+            estimator = _JsonStatsEstimator(
+                json.loads(Path(args.stats).read_text(encoding="utf-8"))
+            )
+        except json.JSONDecodeError as error:
+            print(
+                f"error: {args.stats} is not valid JSON: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    context = VerifyContext(
+        estimator=estimator,
+        max_storage_bytes=args.max_storage_bytes,
+        cube_max_columns=args.cube_max_columns,
+    )
+    try:
+        diagnostics = verify_payload(
+            payload, context, rules=_split_rules(args.rules)
+        )
+    except PlanViewError as error:
+        print(f"error: malformed plan payload: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_report(diagnostics))
+    has_errors = any(d.severity is Severity.ERROR for d in diagnostics)
+    return 1 if has_errors else 0
+
+
+def cmd_lint_code(args) -> int:
+    if args.paths:
+        paths = args.paths
+    else:
+        # Default target: the installed repro package sources.
+        paths = [Path(__file__).resolve().parent]
+    try:
+        diagnostics = lint_paths(paths, rules=_split_rules(args.rules))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_report(diagnostics))
+    return 1 if diagnostics else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,6 +323,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20, help="result rows to print"
     )
     sql.set_defaults(fn=cmd_sql)
+
+    lint_plan = sub.add_parser(
+        "lint-plan",
+        help="statically verify a serialized logical plan (JSON)",
+    )
+    lint_plan.add_argument(
+        "plan", help="plan JSON file (repro.core.serialize format)"
+    )
+    lint_plan.add_argument(
+        "--max-storage-bytes",
+        type=float,
+        default=None,
+        help="enable the Section 4.4.2 storage-bound rule (PV011)",
+    )
+    lint_plan.add_argument(
+        "--cube-max-columns",
+        type=int,
+        default=None,
+        help="enable the CUBE width-cap rule (PV009)",
+    )
+    lint_plan.add_argument(
+        "--stats",
+        help="stats JSON ({'base_rows': N, 'columns': {name: distinct}}) "
+        "enabling cardinality-dependent rules",
+    )
+    lint_plan.add_argument(
+        "--rules", help="comma-separated rule ids to run (default: all)"
+    )
+    lint_plan.set_defaults(fn=cmd_lint_plan)
+
+    lint_code = sub.add_parser(
+        "lint-code",
+        help="run the custom AST lints over the repro sources",
+    )
+    lint_code.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_code.add_argument(
+        "--rules", help="comma-separated rule ids to run (default: all)"
+    )
+    lint_code.set_defaults(fn=cmd_lint_code)
     return parser
 
 

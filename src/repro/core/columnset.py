@@ -13,7 +13,7 @@ from typing import Iterable, Sequence
 ColumnSet = frozenset
 
 
-def column_set(*columns: str) -> frozenset:
+def column_set(*columns: str) -> frozenset[str]:
     """Build a column set: ``column_set('A', 'C')`` is the query (A,C)."""
     flattened: list[str] = []
     for item in columns:
@@ -57,7 +57,7 @@ class BitsetCodec:
                 ) from None
         return mask
 
-    def decode(self, mask: int) -> frozenset:
+    def decode(self, mask: int) -> frozenset[str]:
         return frozenset(
             column for column in self._columns if mask & self._bit_of[column]
         )

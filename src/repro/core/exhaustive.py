@@ -42,7 +42,7 @@ class ExhaustiveResult:
 
 def optimal_plan(
     relation: str,
-    required: Iterable[frozenset],
+    required: Iterable[frozenset[str]],
     coster: PlanCoster,
     max_queries: int = 14,
 ) -> ExhaustiveResult:
@@ -58,7 +58,7 @@ def optimal_plan(
         ExhaustiveSearchError: if there are more than ``max_queries``
             distinct input queries.
     """
-    queries: list[frozenset] = sorted(
+    queries: list[frozenset[str]] = sorted(
         {frozenset(q) for q in required}, key=lambda q: (len(q), sorted(q))
     )
     n = len(queries)

@@ -25,11 +25,11 @@ from repro.engine.aggregation import AggregateSpec
 class AggregateQuery:
     """A Group By query with an explicit aggregate list."""
 
-    columns: frozenset
+    columns: frozenset[str]
     aggregates: tuple[AggregateSpec, ...]
 
     @classmethod
-    def count_star(cls, columns: frozenset) -> "AggregateQuery":
+    def count_star(cls, columns: frozenset[str]) -> "AggregateQuery":
         return cls(frozenset(columns), (AggregateSpec.count_star(),))
 
 
@@ -117,16 +117,16 @@ def rewrite_for_parent(
 
 def queries_to_column_sets(
     queries: Sequence[AggregateQuery],
-) -> list[frozenset]:
+) -> list[frozenset[str]]:
     """Project aggregate queries to plain column sets for the optimizer."""
     return [query.columns for query in queries]
 
 
 def aggregates_by_columns(
     queries: Sequence[AggregateQuery],
-) -> Mapping[frozenset, tuple[AggregateSpec, ...]]:
+) -> Mapping[frozenset[str], tuple[AggregateSpec, ...]]:
     """Index the aggregate lists by query column set, unioning clashes."""
-    table: dict[frozenset, tuple[AggregateSpec, ...]] = {}
+    table: dict[frozenset[str], tuple[AggregateSpec, ...]] = {}
     for query in queries:
         if query.columns in table:
             table[query.columns] = union_aggregates(

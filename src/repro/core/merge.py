@@ -50,7 +50,7 @@ class MergeOptions:
 def subplan_merge(
     p1: SubPlan,
     p2: SubPlan,
-    required: frozenset,
+    required: frozenset[frozenset[str]],
     options: MergeOptions | None = None,
 ) -> list[SubPlan]:
     """Generate the candidate sub-plans for merging ``p1`` and ``p2``.
@@ -127,7 +127,7 @@ def _subsume(larger: SubPlan, smaller: SubPlan) -> SubPlan:
 
 
 def _rollup_candidate(
-    union: frozenset, answered: frozenset
+    union: frozenset[str], answered: frozenset[frozenset[str]]
 ) -> SubPlan | None:
     """Build a ROLLUP node when the answered queries form a chain.
 
@@ -136,7 +136,7 @@ def _rollup_candidate(
     must be realizable as a prefix of some ordering of ``union``.
     """
     chain = sorted(answered, key=len)
-    previous: frozenset = frozenset()
+    previous: frozenset[str] = frozenset()
     order: list[str] = []
     for query in chain:
         if not previous < query:

@@ -41,6 +41,10 @@ class OptimizerOptions:
         max_storage_bytes: Section 4.4.2 constraint on the minimum
             intermediate storage of any candidate sub-plan (None = off).
         epsilon: improvements smaller than this are treated as zero.
+        debug_verify: run the full static verifier
+            (:mod:`repro.analysis`) over the final plan as a
+            post-condition and raise on any error-severity diagnostic.
+            Off by default; meant for tests and debugging runs.
     """
 
     merge_types: tuple[str, ...] = ("a", "b", "c", "d")
@@ -52,6 +56,7 @@ class OptimizerOptions:
     cube_max_columns: int = 5
     max_storage_bytes: float | None = None
     epsilon: float = 1e-9
+    debug_verify: bool = False
 
     def merge_options(self) -> MergeOptions:
         types = ("b",) if self.binary_tree_only else self.merge_types
@@ -106,7 +111,7 @@ class GbMqoOptimizer:
         return self._coster
 
     def optimize(
-        self, relation: str, required: Iterable[frozenset]
+        self, relation: str, required: Iterable[frozenset[str]]
     ) -> OptimizationResult:
         """Find a logical plan for the required queries on ``relation``."""
         started = time.perf_counter()
@@ -136,7 +141,7 @@ class GbMqoOptimizer:
             next_id += 1
 
         # Memoized best merge per pair of sub-plan ids.
-        pair_best: dict[frozenset, tuple[float, SubPlan | None]] = {}
+        pair_best: dict[frozenset[int], tuple[float, SubPlan | None]] = {}
         merges_evaluated = 0
         pruned_subsumption = 0
         pruned_monotonicity = 0
@@ -227,7 +232,7 @@ class GbMqoOptimizer:
             required_sets,
         )
         final.validate()
-        return OptimizationResult(
+        result = OptimizationResult(
             plan=final,
             cost=self._coster.plan_cost(final),
             naive_cost=naive_cost,
@@ -239,6 +244,31 @@ class GbMqoOptimizer:
             optimization_seconds=time.perf_counter() - started,
             merge_log=merge_log,
         )
+        if self.options.debug_verify:
+            # Post-condition: the full rule catalog, with cost / storage
+            # context.  Runs after the call-count metric is captured so
+            # verification never skews the paper's optimization-cost
+            # numbers.
+            self._debug_verify(final)
+        return result
+
+    def _debug_verify(self, plan: LogicalPlan) -> None:
+        """Raise if the optimized plan violates any verifier invariant."""
+        # Imported here: repro.analysis depends on repro.core.
+        from repro.analysis.verifier import VerifyContext, check_plan
+
+        context = VerifyContext(
+            coster=self._coster,
+            estimator=getattr(self._coster.model, "estimator", None),
+            max_storage_bytes=self.options.max_storage_bytes,
+            cube_max_columns=(
+                self.options.cube_max_columns
+                if self.options.enable_cube
+                else None
+            ),
+            epsilon=self.options.epsilon,
+        )
+        check_plan(plan, context)
 
     def _storage_admissible(self, candidate: SubPlan) -> bool:
         limit = self.options.max_storage_bytes

@@ -42,7 +42,7 @@ class PlanNode:
         rollup_order: column order for ROLLUP nodes.
     """
 
-    columns: frozenset
+    columns: frozenset[str]
     kind: NodeKind = NodeKind.GROUP_BY
     rollup_order: tuple[str, ...] = ()
 
@@ -55,7 +55,7 @@ class PlanNode:
                     "ROLLUP node order must cover exactly its columns"
                 )
 
-    def answers(self, query: frozenset) -> bool:
+    def answers(self, query: frozenset[str]) -> bool:
         """Does executing this node produce the result of ``query``?"""
         if self.kind is NodeKind.GROUP_BY:
             return query == self.columns
@@ -91,7 +91,7 @@ class SubPlan:
     node: PlanNode
     children: tuple["SubPlan", ...] = ()
     required: bool = False
-    direct_answers: frozenset = frozenset()
+    direct_answers: frozenset[frozenset[str]] = frozenset()
 
     def __post_init__(self) -> None:
         for child in self.children:
@@ -108,12 +108,12 @@ class SubPlan:
                 )
 
     @classmethod
-    def leaf(cls, columns: frozenset, required: bool = True) -> "SubPlan":
+    def leaf(cls, columns: frozenset[str], required: bool = True) -> "SubPlan":
         """A single required Group By computed directly from its parent."""
         return cls(PlanNode(frozenset(columns)), (), required)
 
     @property
-    def columns(self) -> frozenset:
+    def columns(self) -> frozenset[str]:
         return self.node.columns
 
     @property
@@ -133,9 +133,9 @@ class SubPlan:
             yield (self, child)
             yield from child.iter_edges()
 
-    def answered_queries(self) -> set[frozenset]:
+    def answered_queries(self) -> set[frozenset[str]]:
         """Required queries answered anywhere in this subtree."""
-        answered: set[frozenset] = set()
+        answered: set[frozenset[str]] = set()
         for subplan in self.iter_subplans():
             if subplan.node.kind is NodeKind.GROUP_BY:
                 if subplan.required:
@@ -176,7 +176,7 @@ class LogicalPlan:
 
     relation: str
     subplans: tuple[SubPlan, ...]
-    required: frozenset = field(default_factory=frozenset)
+    required: frozenset[frozenset[str]] = field(default_factory=frozenset)
 
     def iter_subplans(self) -> Iterator[SubPlan]:
         """Pre-order traversal across all sub-plans."""
@@ -195,37 +195,28 @@ class LogicalPlan:
     def materialized_nodes(self) -> list[SubPlan]:
         return [s for s in self.iter_subplans() if s.is_materialized]
 
-    def answered_queries(self) -> set[frozenset]:
-        answered: set[frozenset] = set()
+    def answered_queries(self) -> set[frozenset[str]]:
+        answered: set[frozenset[str]] = set()
         for subplan in self.subplans:
             answered.update(subplan.answered_queries())
         return answered
 
     def validate(self) -> None:
-        """Check the plan answers exactly the required queries.
+        """Run the context-free verifier rules over this plan.
+
+        Delegates to :mod:`repro.analysis` (rules PV001-PV008): edge
+        column containment, required-query coverage and uniqueness,
+        answer consistency, spool consistency, and ROLLUP order.
 
         Raises:
-            PlanError: when a required query is unanswered, or a node
-                marked required is not in the required set.
+            PlanError: when any error-severity rule fires (the raised
+                exception is a :class:`PlanVerificationError`, a
+                PlanError subclass naming the violated rules).
         """
-        answered = self.answered_queries()
-        missing = set(self.required) - answered
-        if missing:
-            raise PlanError(
-                "plan does not answer required queries: "
-                + ", ".join(sorted(format_columns(q) for q in missing))
-            )
-        for subplan in self.iter_subplans():
-            if subplan.required and subplan.node.columns not in self.required:
-                raise PlanError(
-                    f"node {subplan.node.describe()} is marked required "
-                    "but is not an input query"
-                )
-            for query in subplan.direct_answers:
-                if query not in self.required:
-                    raise PlanError(
-                        f"{format_columns(query)} is answered but not required"
-                    )
+        # Imported here: repro.analysis builds on this module.
+        from repro.analysis.verifier import STRUCTURAL_RULES, check_plan
+
+        check_plan(self, rules=STRUCTURAL_RULES)
 
     def render(self) -> str:
         lines = [self.relation]
@@ -247,7 +238,7 @@ class LogicalPlan:
         return LogicalPlan(self.relation, tuple(kept) + tuple(add), self.required)
 
 
-def naive_plan(relation: str, required: Iterable[frozenset]) -> LogicalPlan:
+def naive_plan(relation: str, required: Iterable[frozenset[str]]) -> LogicalPlan:
     """The naive plan: every required query computed directly from R.
 
     This is both the baseline the paper compares against and the starting

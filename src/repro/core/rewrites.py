@@ -195,9 +195,11 @@ def pad_and_union(
     the dtype of the first grouping result that produced it.
     """
     all_columns: list[str] = []
+    seen_columns: set[str] = set()
     for columns, _ in results:
         for column in columns:
-            if column not in all_columns:
+            if column not in seen_columns:
+                seen_columns.add(column)
                 all_columns.append(column)
     dtype_source: dict[str, np.ndarray] = {}
     for column in all_columns:

@@ -30,7 +30,7 @@ class Step:
     parent: PlanNode | None = None
     materialize: bool = False
     required: bool = False
-    direct_answers: frozenset = frozenset()
+    direct_answers: frozenset[frozenset[str]] = frozenset()
 
     def describe(self) -> str:
         if self.action == "drop":

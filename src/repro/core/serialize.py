@@ -16,7 +16,7 @@ from repro.core.plan import LogicalPlan, NodeKind, PlanError, PlanNode, SubPlan
 FORMAT_VERSION = 1
 
 
-def subplan_to_dict(subplan: SubPlan) -> dict:
+def subplan_to_dict(subplan: SubPlan) -> dict[str, object]:
     payload = {
         "columns": sorted(subplan.node.columns),
         "kind": subplan.node.kind.value,
@@ -32,7 +32,7 @@ def subplan_to_dict(subplan: SubPlan) -> dict:
     return payload
 
 
-def plan_to_dict(plan: LogicalPlan) -> dict:
+def plan_to_dict(plan: LogicalPlan) -> dict[str, object]:
     """Serialize a plan to a JSON-compatible dict."""
     return {
         "version": FORMAT_VERSION,
@@ -42,7 +42,7 @@ def plan_to_dict(plan: LogicalPlan) -> dict:
     }
 
 
-def subplan_from_dict(payload: dict) -> SubPlan:
+def subplan_from_dict(payload: dict[str, object]) -> SubPlan:
     kind = NodeKind(payload.get("kind", "group_by"))
     node = PlanNode(
         frozenset(payload["columns"]),
@@ -58,25 +58,38 @@ def subplan_from_dict(payload: dict) -> SubPlan:
     return SubPlan(node, children, payload.get("required", False), direct)
 
 
-def plan_from_dict(payload: dict) -> LogicalPlan:
+def plan_from_dict(payload: dict[str, object]) -> LogicalPlan:
     """Rebuild a plan from :func:`plan_to_dict` output.
 
+    The payload is verified *before* any plan dataclass is built: the
+    static verifier (:mod:`repro.analysis`) runs its structural rules
+    over the raw dict, so a corrupted payload is rejected with an error
+    naming the violated rule instead of an arbitrary constructor crash.
+
     Raises:
-        PlanError: on version mismatch or an invalid plan structure.
+        PlanError: on version mismatch, or — as the
+            :class:`~repro.analysis.verifier.PlanVerificationError`
+            subclass — when the payload violates a plan invariant.
     """
+    # Imported here: repro.analysis builds on this module's types.
+    from repro.analysis.planview import PlanViewError
+    from repro.analysis.verifier import STRUCTURAL_RULES, check_payload
+
     version = payload.get("version")
     if version != FORMAT_VERSION:
         raise PlanError(
             f"unsupported plan format version {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
-    plan = LogicalPlan(
-        payload["relation"],
+    try:
+        check_payload(payload, rules=STRUCTURAL_RULES)
+    except PlanViewError as error:
+        raise PlanError(f"malformed plan payload: {error}") from None
+    return LogicalPlan(
+        str(payload["relation"]),
         tuple(subplan_from_dict(s) for s in payload.get("subplans", ())),
         frozenset(frozenset(q) for q in payload.get("required", ())),
     )
-    plan.validate()
-    return plan
 
 
 def plan_to_json(plan: LogicalPlan, indent: int | None = None) -> str:

@@ -1,0 +1,145 @@
+"""CLI coverage for the lint-plan / lint-code subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.plan import LogicalPlan, SubPlan
+from repro.core.serialize import plan_to_dict
+
+
+def fs(*columns):
+    return frozenset(columns)
+
+
+@pytest.fixture
+def valid_plan_path(tmp_path):
+    plan = LogicalPlan(
+        "R",
+        (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"))),
+        frozenset([fs("a"), fs("b")]),
+    )
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan_to_dict(plan)))
+    return path
+
+
+class TestLintPlan:
+    def test_clean_plan_exits_zero(self, valid_plan_path, capsys):
+        assert main(["lint-plan", str(valid_plan_path)]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_invalid_plan_exits_one_and_names_rule(self, tmp_path, capsys):
+        payload = {
+            "version": 1,
+            "relation": "R",
+            "required": [["a"], ["b"]],
+            "subplans": [
+                {"columns": ["a"], "kind": "group_by", "required": True}
+            ],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        assert main(["lint-plan", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "PV003" in out
+        assert "does not answer" in out
+
+    def test_rule_selection(self, tmp_path, capsys):
+        payload = {
+            "version": 1,
+            "relation": "R",
+            "required": [["a"]],
+            "subplans": [],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(payload))
+        assert main(["lint-plan", str(path), "--rules", "PV002"]) == 0
+
+    def test_storage_rule_needs_stats(self, tmp_path, capsys):
+        payload = {
+            "version": 1,
+            "relation": "R",
+            "required": [["a"], ["b"], ["a", "b"]],
+            "subplans": [
+                {
+                    "columns": ["a", "b"],
+                    "kind": "group_by",
+                    "required": True,
+                    "children": [
+                        {"columns": ["a"], "kind": "group_by", "required": True},
+                        {"columns": ["b"], "kind": "group_by", "required": True},
+                    ],
+                }
+            ],
+        }
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(payload))
+        # Without stats the storage rule cannot run: plan is clean.
+        assert (
+            main(["lint-plan", str(plan_path), "--max-storage-bytes", "1"])
+            == 0
+        )
+        stats_path = tmp_path / "stats.json"
+        stats_path.write_text(
+            json.dumps({"base_rows": 10_000, "columns": {"a": 50, "b": 80}})
+        )
+        code = main(
+            [
+                "lint-plan",
+                str(plan_path),
+                "--max-storage-bytes",
+                "1",
+                "--stats",
+                str(stats_path),
+            ]
+        )
+        assert code == 1
+        assert "PV011" in capsys.readouterr().out
+
+    def test_garbage_json_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        assert main(["lint-plan", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert main(["lint-plan", str(tmp_path / "absent.json")]) == 2
+
+    def test_unknown_rule_id_exits_two(self, valid_plan_path, capsys):
+        # A typo'd rule id must not silently report a clean plan.
+        assert main(["lint-plan", str(valid_plan_path), "--rules", "PV999"]) == 2
+        assert "unknown plan rule" in capsys.readouterr().err
+
+
+class TestLintCode:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("X = 1\n")
+        assert main(["lint-code", str(target)]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("try:\n    pass\nexcept:\n    pass\n")
+        assert main(["lint-code", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "CL201" in out
+        assert "dirty.py:3" in out
+
+    def test_default_target_is_repro_package(self, capsys):
+        # The shipped sources are the lint gate's subject; the default
+        # invocation must agree with the gate and exit clean.
+        assert main(["lint-code"]) == 0
+
+    def test_rule_selection(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("try:\n    pass\nexcept:\n    pass\n")
+        assert main(["lint-code", str(target), "--rules", "CL204"]) == 0
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("X = 1\n")
+        assert main(["lint-code", str(target), "--rules", "CL999"]) == 2
+        assert "unknown code rule" in capsys.readouterr().err

@@ -1,0 +1,18 @@
+"""The lint gate: the repro sources must stay clean under their lints.
+
+This is the pytest twin of ``repro lint-code`` — CI runs both.  If this
+test fails, run ``python -m repro.cli lint-code`` for the same report
+with fix hints.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths
+
+
+def test_repro_sources_lint_clean():
+    package_root = Path(repro.__file__).resolve().parent
+    diagnostics = lint_paths([package_root])
+    report = "\n".join(d.format() for d in diagnostics)
+    assert not diagnostics, f"repro sources have lint findings:\n{report}"

@@ -1,0 +1,237 @@
+"""Unit tests for the custom AST lints (one positive + negative each)."""
+
+import textwrap
+
+from repro.analysis import Severity, lint_source
+
+
+def lint(source, path="repro/somewhere/mod.py", rules=None):
+    return lint_source(textwrap.dedent(source), path, rules)
+
+
+def rules_fired(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self):
+        diagnostics = lint(
+            """
+            try:
+                risky()
+            except:
+                pass
+            """
+        )
+        assert "CL201" in rules_fired(diagnostics)
+
+    def test_typed_except_clean(self):
+        diagnostics = lint(
+            """
+            try:
+                risky()
+            except ValueError:
+                pass
+            """
+        )
+        assert "CL201" not in rules_fired(diagnostics)
+
+
+class TestFrozenMutation:
+    def test_flags_setattr_outside_post_init(self):
+        diagnostics = lint(
+            """
+            def tweak(plan):
+                object.__setattr__(plan, "cost", 0.0)
+            """
+        )
+        [d] = [d for d in diagnostics if d.rule == "CL202"]
+        assert "frozen" in d.message
+
+    def test_post_init_is_allowed(self):
+        diagnostics = lint(
+            """
+            class Node:
+                def __post_init__(self):
+                    object.__setattr__(self, "columns", frozenset())
+            """
+        )
+        assert "CL202" not in rules_fired(diagnostics)
+
+
+class TestFutureAnnotations:
+    def test_flags_annotated_module_without_import(self):
+        diagnostics = lint(
+            """
+            def rows(columns: frozenset) -> float:
+                return 1.0
+            """,
+            path="repro/stats/mod.py",
+        )
+        assert "CL203" in rules_fired(diagnostics)
+
+    def test_import_satisfies_rule(self):
+        diagnostics = lint(
+            """
+            from __future__ import annotations
+
+            def rows(columns: frozenset) -> float:
+                return 1.0
+            """,
+            path="repro/stats/mod.py",
+        )
+        assert "CL203" not in rules_fired(diagnostics)
+
+    def test_unannotated_module_is_exempt(self):
+        diagnostics = lint(
+            """
+            def rows(columns):
+                return 1.0
+            """
+        )
+        assert "CL203" not in rules_fired(diagnostics)
+
+
+class TestObjectDtype:
+    def test_flags_object_dtype_in_engine(self):
+        source = """
+        import numpy as np
+
+        def pack(values):
+            return np.array(values, dtype=object)
+        """
+        diagnostics = lint(source, path="repro/engine/table.py")
+        [d] = [d for d in diagnostics if d.rule == "CL204"]
+        assert d.severity is Severity.WARNING
+
+    def test_rule_scoped_to_engine(self):
+        source = """
+        import numpy as np
+
+        def pack(values):
+            return np.array(values, dtype=object)
+        """
+        diagnostics = lint(source, path="repro/workloads/gen.py")
+        assert "CL204" not in rules_fired(diagnostics)
+
+    def test_native_dtype_clean(self):
+        source = """
+        import numpy as np
+
+        def pack(values):
+            return np.array(values, dtype=np.int64)
+        """
+        diagnostics = lint(source, path="repro/engine/table.py")
+        assert "CL204" not in rules_fired(diagnostics)
+
+
+class TestListMembership:
+    def test_flags_membership_against_list_in_loop(self):
+        diagnostics = lint(
+            """
+            def dedupe(items):
+                kept = []
+                for item in items:
+                    if item not in kept:
+                        kept.append(item)
+                return kept
+            """
+        )
+        assert "CL205" in rules_fired(diagnostics)
+
+    def test_set_membership_clean(self):
+        diagnostics = lint(
+            """
+            def dedupe(items):
+                kept = []
+                seen = set()
+                for item in items:
+                    if item not in seen:
+                        seen.add(item)
+                        kept.append(item)
+                return kept
+            """
+        )
+        assert "CL205" not in rules_fired(diagnostics)
+
+    def test_membership_outside_loop_clean(self):
+        diagnostics = lint(
+            """
+            def has(items, item):
+                copy = list(items)
+                return item in copy
+            """
+        )
+        assert "CL205" not in rules_fired(diagnostics)
+
+
+class TestBareGeneric:
+    def test_flags_bare_generic_in_core(self):
+        source = """
+        from __future__ import annotations
+
+        def decode(mask: int) -> frozenset:
+            return frozenset()
+        """
+        diagnostics = lint(source, path="repro/core/columnset.py")
+        [d] = [d for d in diagnostics if d.rule == "CL206"]
+        assert "frozenset" in d.message
+
+    def test_flags_nested_bare_generic(self):
+        source = """
+        from __future__ import annotations
+
+        def answered() -> set[frozenset]:
+            return set()
+        """
+        diagnostics = lint(source, path="repro/core/plan.py")
+        assert "CL206" in rules_fired(diagnostics)
+
+    def test_parameterized_generic_clean(self):
+        source = """
+        from __future__ import annotations
+
+        def answered(queries: dict[frozenset[str], float]) -> set[frozenset[str]]:
+            return set(queries)
+        """
+        diagnostics = lint(source, path="repro/core/plan.py")
+        assert "CL206" not in rules_fired(diagnostics)
+
+    def test_rule_scoped_to_core(self):
+        source = """
+        from __future__ import annotations
+
+        def rows(columns: frozenset) -> float:
+            return 1.0
+        """
+        diagnostics = lint(source, path="repro/stats/cardinality.py")
+        assert "CL206" not in rules_fired(diagnostics)
+
+
+class TestDriver:
+    def test_syntax_error_reported_not_raised(self):
+        diagnostics = lint_source("def broken(:\n", "repro/x.py")
+        assert [d.rule for d in diagnostics] == ["CL200"]
+
+    def test_rule_selection(self):
+        source = "def f(x: frozenset):\n    pass\n"
+        diagnostics = lint_source(
+            source, "repro/core/plan.py", rules=["CL206"]
+        )
+        assert rules_fired(diagnostics) == {"CL206"}
+        # CL203 (missing future import) suppressed by selection.
+        assert all(d.rule == "CL206" for d in diagnostics)
+
+    def test_locations_carry_file_and_line(self):
+        diagnostics = lint(
+            """
+            try:
+                pass
+            except:
+                pass
+            """
+        )
+        [d] = [d for d in diagnostics if d.rule == "CL201"]
+        path, line = d.location.rsplit(":", 1)
+        assert path.endswith("mod.py")
+        assert int(line) >= 1

@@ -1,0 +1,299 @@
+"""One provoked violation per plan-verifier rule, plus driver behavior.
+
+Invalid structures are injected through the serialized payload form —
+the frozen plan dataclasses refuse to construct most of them, which is
+exactly why the verifier operates on a validation-free view.
+"""
+
+import pytest
+
+from repro.analysis import (
+    PLAN_RULES,
+    PlanVerificationError,
+    STRUCTURAL_RULES,
+    Severity,
+    VerifyContext,
+    check_plan,
+    verify_payload,
+    verify_plan,
+)
+from repro.core.optimizer import GbMqoOptimizer, OptimizerOptions
+from repro.core.plan import LogicalPlan, PlanError, PlanNode, SubPlan
+from repro.core.serialize import plan_to_dict
+from repro.costmodel.base import PlanCoster
+from repro.costmodel.cardinality import CardinalityCostModel
+from tests.core.support import FakeEstimator
+
+
+def fs(*columns):
+    return frozenset(columns)
+
+
+def node_payload(columns, **extra):
+    payload = {"columns": sorted(columns), "kind": "group_by"}
+    payload.update(extra)
+    return payload
+
+
+def plan_payload(subplans, required):
+    return {
+        "version": 1,
+        "relation": "R",
+        "required": sorted(sorted(q) for q in required),
+        "subplans": subplans,
+    }
+
+
+def rules_fired(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+class TestRuleViolations:
+    """Each rule catches its invariant violation (acceptance criterion)."""
+
+    def test_pv001_empty_columns_and_unknown_kind(self):
+        payload = plan_payload(
+            [
+                {"columns": [], "kind": "group_by", "required": False},
+                {"columns": ["a"], "kind": "median_by", "required": False},
+            ],
+            [],
+        )
+        fired = rules_fired(verify_payload(payload))
+        assert "PV001" in fired
+
+    def test_pv002_child_not_strict_subset(self):
+        child = node_payload(["a", "z"], required=True)
+        parent = node_payload(["a", "b"], children=[child])
+        payload = plan_payload([parent], [fs("a", "z")])
+        diagnostics = verify_payload(payload)
+        assert "PV002" in rules_fired(diagnostics)
+        [d] = [d for d in diagnostics if d.rule == "PV002"]
+        assert d.severity is Severity.ERROR
+        assert "subplans[0].children[0]" in d.location
+
+    def test_pv003_required_query_unanswered(self):
+        payload = plan_payload(
+            [node_payload(["a"], required=True)], [fs("a"), fs("b")]
+        )
+        assert "PV003" in rules_fired(verify_payload(payload))
+
+    def test_pv004_required_mark_without_input_query(self):
+        payload = plan_payload([node_payload(["a"], required=True)], [])
+        assert "PV004" in rules_fired(verify_payload(payload))
+
+    def test_pv004_direct_answer_node_cannot_produce(self):
+        cube = {
+            "columns": ["a", "b"],
+            "kind": "cube",
+            "direct_answers": [["c"]],
+        }
+        payload = plan_payload([cube], [fs("c")])
+        assert "PV004" in rules_fired(verify_payload(payload))
+
+    def test_pv005_query_answered_twice(self):
+        payload = plan_payload(
+            [
+                node_payload(["a"], required=True),
+                node_payload(
+                    ["a", "b"],
+                    required=False,
+                    children=[node_payload(["a"], required=True)],
+                ),
+            ],
+            [fs("a")],
+        )
+        assert "PV005" in rules_fired(verify_payload(payload))
+
+    def test_pv006_materialized_flag_contradicts_fanout(self):
+        payload = plan_payload(
+            [node_payload(["a"], required=True, materialized=True)],
+            [fs("a")],
+        )
+        assert "PV006" in rules_fired(verify_payload(payload))
+
+    def test_pv006_cube_with_children(self):
+        cube = {
+            "columns": ["a", "b"],
+            "kind": "cube",
+            "direct_answers": [["a"]],
+            "children": [node_payload(["b"], required=True)],
+        }
+        payload = plan_payload([cube], [fs("a"), fs("b")])
+        assert "PV006" in rules_fired(verify_payload(payload))
+
+    def test_pv007_dead_subtree_is_warning(self):
+        payload = plan_payload(
+            [
+                node_payload(["a"], required=True),
+                node_payload(["b"], required=False),
+            ],
+            [fs("a")],
+        )
+        diagnostics = verify_payload(payload)
+        [d] = [d for d in diagnostics if d.rule == "PV007"]
+        assert d.severity is Severity.WARNING
+        assert "subplans[1]" in d.location
+
+    def test_pv008_rollup_order_mismatch(self):
+        rollup = {
+            "columns": ["a", "b"],
+            "kind": "rollup",
+            "rollup_order": ["a", "c"],
+            "direct_answers": [["a"]],
+        }
+        payload = plan_payload([rollup], [fs("a")])
+        assert "PV008" in rules_fired(verify_payload(payload))
+
+    def test_pv008_group_by_with_rollup_order(self):
+        payload = plan_payload(
+            [node_payload(["a"], required=True, rollup_order=["a"])],
+            [fs("a")],
+        )
+        assert "PV008" in rules_fired(verify_payload(payload))
+
+    def test_pv009_cube_wider_than_cap(self):
+        cube = {
+            "columns": ["a", "b", "c", "d"],
+            "kind": "cube",
+            "direct_answers": [["a"]],
+        }
+        payload = plan_payload([cube], [fs("a")])
+        context = VerifyContext(cube_max_columns=3)
+        assert "PV009" in rules_fired(verify_payload(payload, context))
+        # Without a cap in context the rule is skipped entirely.
+        assert "PV009" not in rules_fired(verify_payload(payload))
+
+    def test_pv010_edge_costlier_than_base(self):
+        # (a,b) is almost as large as R, so scanning it for (a) costs
+        # nearly |R| — but under the Cardinality model it is still
+        # cheaper than R itself, so build a pathological estimator where
+        # the intermediate is *larger* than the base relation.
+        estimator = FakeEstimator(
+            1_000, {"a": 10.0, "b": 10.0}, {fs("a", "b"): 5_000.0}
+        )
+        coster = PlanCoster(CardinalityCostModel(estimator))
+        plan = LogicalPlan(
+            "R",
+            (
+                SubPlan(
+                    PlanNode(fs("a", "b")),
+                    (SubPlan.leaf(fs("a")),),
+                    required=True,
+                ),
+            ),
+            frozenset([fs("a"), fs("a", "b")]),
+        )
+        diagnostics = verify_plan(plan, VerifyContext(coster=coster))
+        [d] = [d for d in diagnostics if d.rule == "PV010"]
+        assert d.severity is Severity.WARNING
+
+    def test_pv011_storage_over_budget(self):
+        estimator = FakeEstimator(10_000, {"a": 100.0, "b": 100.0})
+        plan = LogicalPlan(
+            "R",
+            (
+                SubPlan(
+                    PlanNode(fs("a", "b")),
+                    (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"))),
+                    required=False,
+                ),
+            ),
+            frozenset([fs("a"), fs("b")]),
+        )
+        tight = VerifyContext(estimator=estimator, max_storage_bytes=10.0)
+        assert "PV011" in rules_fired(verify_plan(plan, tight))
+        roomy = VerifyContext(estimator=estimator, max_storage_bytes=1e12)
+        assert "PV011" not in rules_fired(verify_plan(plan, roomy))
+
+
+class TestDriver:
+    def test_valid_plan_is_clean(self):
+        plan = LogicalPlan(
+            "R",
+            (
+                SubPlan(
+                    PlanNode(fs("a", "b")),
+                    (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"))),
+                    required=True,
+                ),
+            ),
+            frozenset([fs("a"), fs("b"), fs("a", "b")]),
+        )
+        assert verify_plan(plan) == []
+
+    def test_payload_and_plan_forms_agree(self):
+        plan = LogicalPlan(
+            "R",
+            (
+                SubPlan(
+                    PlanNode(fs("a", "b")),
+                    (SubPlan.leaf(fs("a")),),
+                    required=True,
+                ),
+            ),
+            frozenset([fs("a"), fs("a", "b")]),
+        )
+        assert verify_payload(plan_to_dict(plan)) == verify_plan(plan)
+
+    def test_check_plan_raises_plan_error_subclass(self):
+        plan = LogicalPlan("R", (SubPlan.leaf(fs("a")),), frozenset([fs("b")]))
+        with pytest.raises(PlanVerificationError) as excinfo:
+            check_plan(plan, rules=STRUCTURAL_RULES)
+        assert isinstance(excinfo.value, PlanError)
+        assert "PV003" in str(excinfo.value)
+        assert any(d.rule == "PV003" for d in excinfo.value.diagnostics)
+
+    def test_warnings_do_not_raise(self):
+        plan = LogicalPlan(
+            "R",
+            (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b"), required=False)),
+            frozenset([fs("a")]),
+        )
+        diagnostics = check_plan(plan)
+        assert {d.rule for d in diagnostics} == {"PV007"}
+
+    def test_rule_selection(self):
+        plan = LogicalPlan("R", (SubPlan.leaf(fs("a")),), frozenset([fs("b")]))
+        only_subset = verify_plan(plan, rules=["PV002"])
+        assert only_subset == []
+
+    def test_every_rule_documents_its_paper_section(self):
+        for rule in PLAN_RULES.values():
+            assert rule.paper_section.startswith("§")
+            assert rule.invariant
+
+
+class TestOptimizerDebugVerify:
+    def test_debug_verify_accepts_optimizer_output(self):
+        estimator = FakeEstimator(
+            100_000, {"a": 10.0, "b": 20.0, "c": 4_000.0}
+        )
+        coster = PlanCoster(CardinalityCostModel(estimator))
+        optimizer = GbMqoOptimizer(
+            coster, OptimizerOptions(debug_verify=True)
+        )
+        result = optimizer.optimize(
+            "R", [fs("a"), fs("b"), fs("a", "b"), fs("c")]
+        )
+        assert result.plan.answered_queries() == {
+            fs("a"),
+            fs("b"),
+            fs("a", "b"),
+            fs("c"),
+        }
+
+    def test_debug_verify_does_not_change_call_metric(self):
+        queries = [fs("a"), fs("b"), fs("a", "b"), fs("c")]
+
+        def run(debug_verify):
+            estimator = FakeEstimator(
+                100_000, {"a": 10.0, "b": 20.0, "c": 4_000.0}
+            )
+            coster = PlanCoster(CardinalityCostModel(estimator))
+            optimizer = GbMqoOptimizer(
+                coster, OptimizerOptions(debug_verify=debug_verify)
+            )
+            return optimizer.optimize("R", queries).optimizer_calls
+
+        assert run(True) == run(False)

@@ -1,0 +1,130 @@
+"""Acceptance: optimizer output verifies clean over every workload.
+
+Runs GB-MQO (with ``debug_verify`` on, so the post-condition is also
+exercised) across the repo's workload generators and query-set builders
+and asserts the full rule catalog — context rules included — emits zero
+diagnostics on the chosen plans.
+"""
+
+import pytest
+
+from repro.analysis import VerifyContext, verify_plan
+from repro.api import Session
+from repro.core.optimizer import GbMqoOptimizer, OptimizerOptions
+from repro.costmodel.base import PlanCoster
+from repro.costmodel.cardinality import CardinalityCostModel
+from repro.workloads.customers import make_customers
+from repro.workloads.nref import make_neighboring_seq
+from repro.workloads.queries import (
+    combi_workload,
+    containment_workload,
+    random_subset_workloads,
+    single_column_queries,
+    two_column_queries,
+)
+from repro.workloads.sales import make_sales
+from repro.workloads.tpch import make_lineitem
+from tests.core.support import FakeEstimator
+
+TABLES = {
+    "sales": lambda: make_sales(1_200),
+    "lineitem": lambda: make_lineitem(1_200),
+    "customer": lambda: make_customers(1_000),
+    "neighboring_seq": lambda: make_neighboring_seq(1_000),
+}
+
+WORKLOADS = {
+    "SC": lambda columns: single_column_queries(columns),
+    "TC": lambda columns: two_column_queries(columns[:5]),
+    "CONT": lambda columns: containment_workload(columns[:3]),
+    "Combi2": lambda columns: combi_workload(columns[:4], 2),
+    "random": lambda columns: random_subset_workloads(
+        columns, k=min(4, len(columns)), n_workloads=1, seed=1
+    )[0],
+}
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    return {
+        name: Session.for_table(build(), statistics="exact")
+        for name, build in TABLES.items()
+    }
+
+
+def assert_clean(plan, context):
+    diagnostics = verify_plan(plan, context)
+    report = "\n".join(d.format() for d in diagnostics)
+    assert not diagnostics, f"optimizer plan has diagnostics:\n{report}"
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("table", sorted(TABLES))
+def test_engine_model_plans_verify_clean(sessions, table, workload):
+    session = sessions[table]
+    columns = list(
+        session.catalog.get(session.base_table).column_names
+    )
+    queries = WORKLOADS[workload](columns)
+    result = session.optimize(queries, OptimizerOptions(debug_verify=True))
+    context = VerifyContext(
+        coster=session.coster(), estimator=session.estimator
+    )
+    assert_clean(result.plan, context)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_cardinality_model_plans_verify_clean(workload):
+    singles = {
+        "c0": 4.0,
+        "c1": 36.0,
+        "c2": 120.0,
+        "c3": 900.0,
+        "c4": 14.0,
+        "c5": 2_400.0,
+    }
+    estimator = FakeEstimator(60_000, singles)
+    coster = PlanCoster(CardinalityCostModel(estimator))
+    queries = WORKLOADS[workload](sorted(singles))
+    optimizer = GbMqoOptimizer(coster, OptimizerOptions(debug_verify=True))
+    result = optimizer.optimize("R", queries)
+    assert_clean(
+        result.plan, VerifyContext(coster=coster, estimator=estimator)
+    )
+
+
+def test_operator_extensions_verify_clean():
+    singles = {"a": 8.0, "b": 12.0, "c": 20.0, "d": 50.0}
+    estimator = FakeEstimator(40_000, singles)
+    coster = PlanCoster(CardinalityCostModel(estimator))
+    options = OptimizerOptions(
+        enable_cube=True,
+        enable_rollup=True,
+        cube_max_columns=4,
+        debug_verify=True,
+    )
+    optimizer = GbMqoOptimizer(coster, options)
+    queries = combi_workload(sorted(singles), 2)
+    result = optimizer.optimize("R", queries)
+    context = VerifyContext(
+        coster=coster, estimator=estimator, cube_max_columns=4
+    )
+    assert_clean(result.plan, context)
+
+
+def test_storage_capped_runs_verify_clean():
+    singles = {"a": 30.0, "b": 300.0, "c": 3_000.0}
+    estimator = FakeEstimator(90_000, singles)
+    coster = PlanCoster(CardinalityCostModel(estimator))
+    limit = 50_000.0
+    options = OptimizerOptions(
+        max_storage_bytes=limit, debug_verify=True
+    )
+    optimizer = GbMqoOptimizer(coster, options)
+    result = optimizer.optimize(
+        "R", containment_workload(sorted(singles))
+    )
+    context = VerifyContext(
+        coster=coster, estimator=estimator, max_storage_bytes=limit
+    )
+    assert_clean(result.plan, context)

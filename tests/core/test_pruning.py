@@ -63,6 +63,47 @@ class TestSubsumptionPruner:
         assert allowed == {0b011}
 
 
+class TestPruningMustNotFire:
+    """Pruning must stay quiet when its precondition does not hold."""
+
+    def test_subsumption_keeps_incomparable_unions(self):
+        pruner = SubsumptionPruner()
+        unions = [0b0011, 0b0101, 0b1001, 0b1100]
+        assert pruner.allowed_unions(unions) == set(unions)
+        assert pruner.pairs_pruned == 0
+
+    def test_monotonicity_ignores_unrelated_unions(self):
+        pruner = MonotonicityPruner()
+        pruner.record_failure(0b011)
+        # Neither a superset of the failed union: both must survive.
+        assert not pruner.is_pruned(0b101)
+        assert not pruner.is_pruned(0b100)
+        assert pruner.pairs_pruned == 0
+
+    def test_monotonicity_does_not_prune_subsets_of_failure(self):
+        pruner = MonotonicityPruner()
+        pruner.record_failure(0b111)
+        assert not pruner.is_pruned(0b011)
+        assert pruner.pairs_pruned == 0
+
+    def test_optimizer_counts_no_subsumption_prunes_on_incomparable_pairs(self):
+        # Three single-column queries: every first-round pair union has
+        # exactly two columns, so no union strictly contains another and
+        # subsumption has nothing to remove.
+        singles = {"a": 4.0, "b": 6.0, "c": 9.0}
+        plain = optimize_with(50_000, singles)
+        pruned = optimize_with(50_000, singles, subsumption_pruning=True)
+        assert pruned.pairs_pruned_subsumption == 0
+        assert pruned.cost == pytest.approx(plain.cost)
+
+    def test_optimizer_counts_no_monotonicity_prunes_when_merges_pay(self):
+        # Tiny cardinalities relative to the base relation: every merge
+        # reduces cost, no failure is ever recorded, nothing is pruned.
+        singles = {"a": 2.0, "b": 3.0, "c": 4.0, "d": 5.0}
+        result = optimize_with(200_000, singles, monotonicity_pruning=True)
+        assert result.pairs_pruned_monotonicity == 0
+
+
 # -- the paper's soundness claims, as properties ----------------------------
 
 
