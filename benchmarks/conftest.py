@@ -22,3 +22,20 @@ def pytest_addoption(parser):
 @pytest.fixture(scope="session")
 def bench_rows(request):
     return request.config.getoption("--bench-rows")
+
+
+@pytest.fixture(scope="session")
+def metrics_dict():
+    """Uniform counter access for benchmarks.
+
+    Returns a callable mapping anything with a ``metrics``
+    (ExecutionMetrics) attribute — or a bare ExecutionMetrics — to its
+    flat ``as_dict()`` snapshot, so benchmark assertions read named
+    counters instead of reaching into fields ad hoc.
+    """
+
+    def snapshot(run):
+        metrics = getattr(run, "metrics", run)
+        return metrics.as_dict()
+
+    return snapshot

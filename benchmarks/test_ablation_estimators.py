@@ -15,7 +15,7 @@ from repro.workloads.queries import single_column_queries
 from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
 
 
-def run_ablation(rows):
+def run_ablation(rows, metrics_dict):
     queries = single_column_queries(LINEITEM_SC_COLUMNS)
     outcomes = {}
     for label in ("exact", "hybrid", "gee"):
@@ -32,13 +32,18 @@ def run_ablation(rows):
         result = session.optimize(queries)
         execution = session.execute(result.plan)
         naive = session.run_naive(queries)
-        outcomes[label] = naive.metrics.work / execution.metrics.work
+        outcomes[label] = (
+            metrics_dict(naive)["work"] / metrics_dict(execution)["work"]
+        )
     return outcomes
 
 
-def test_estimator_ablation(benchmark, bench_rows):
+def test_estimator_ablation(benchmark, bench_rows, metrics_dict):
     outcomes = benchmark.pedantic(
-        run_ablation, args=(max(bench_rows, 100_000),), rounds=1, iterations=1
+        run_ablation,
+        args=(max(bench_rows, 100_000), metrics_dict),
+        rounds=1,
+        iterations=1,
     )
     print("\nwork ratios by estimator:", outcomes)
     # Every estimator still beats naive...

@@ -13,7 +13,7 @@ from repro.workloads.queries import single_column_queries
 from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
 
 
-def run_ablation(rows):
+def run_ablation(rows, metrics_dict):
     table = make_lineitem(rows)
     session = make_session(table)
     queries = single_column_queries(LINEITEM_SC_COLUMNS)
@@ -31,14 +31,14 @@ def run_ablation(rows):
             session.estimator,
             group_budget=budget,
         )
-        outcomes[f"shared_{label}_work"] = run.metrics.work
+        outcomes[f"shared_{label}_work"] = metrics_dict(run)["work"]
         outcomes[f"shared_{label}_passes"] = run.passes
     return outcomes
 
 
-def test_shared_scan_ablation(benchmark, bench_rows):
+def test_shared_scan_ablation(benchmark, bench_rows, metrics_dict):
     outcomes = benchmark.pedantic(
-        run_ablation, args=(bench_rows,), rounds=1, iterations=1
+        run_ablation, args=(bench_rows, metrics_dict), rounds=1, iterations=1
     )
     print("\n", outcomes)
     # With unbounded memory a single shared pass beats everything on

@@ -17,7 +17,9 @@ to apply (empty scope = every file).  The catalog:
 * ``CL204`` ``dtype=object`` arrays in engine hot paths;
 * ``CL205`` membership tests against locally-built lists inside loops
   (quadratic scans);
-* ``CL206`` un-parameterized builtin generics in ``core`` annotations.
+* ``CL206`` un-parameterized builtin generics in ``core`` annotations;
+* ``CL207`` wall-clock ``time.time()`` calls (timings must use the
+  monotonic clock helper in ``repro.obs.clock``).
 """
 
 from __future__ import annotations
@@ -355,6 +357,47 @@ def check_bare_generic(tree: ast.Module) -> Iterator[Finding]:
                 getattr(name, "lineno", annotation.lineno),
                 f"bare {name.id!r} annotation",
                 f"parameterize it, e.g. {name.id}[str]",
+            )
+
+
+@code_rule(
+    "CL207",
+    "wall-clock-timing",
+    "time.time() jumps under NTP/DST; timings must be monotonic",
+    scope=("repro/",),
+)
+def check_wall_clock(tree: ast.Module) -> Iterator[Finding]:
+    hint = "use repro.obs.clock.monotonic() (time.perf_counter based)"
+    imported_bare_time = any(
+        isinstance(node, ast.ImportFrom)
+        and node.module == "time"
+        and any(alias.name == "time" for alias in node.names)
+        for node in ast.walk(tree)
+    )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            yield (
+                node.lineno,
+                "time.time() is wall-clock, not monotonic",
+                hint,
+            )
+        elif (
+            imported_bare_time
+            and isinstance(func, ast.Name)
+            and func.id == "time"
+        ):
+            yield (
+                node.lineno,
+                "time() (from time import time) is wall-clock",
+                hint,
             )
 
 

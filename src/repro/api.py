@@ -27,6 +27,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.executor import ExecutionResult, PlanExecutor
 from repro.engine.indexes import IndexSpec
 from repro.engine.table import Table
+from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.stats.cardinality import (
     CardinalityEstimator,
     ExactCardinalityEstimator,
@@ -60,6 +61,9 @@ class Session:
         cost_model: 'engine' (the realistic optimizer model, default) or
             'cardinality' (the analytic Section 3.2.1 model).
         use_indexes: let execution answer queries from covering indexes.
+        tracer: span tracer threaded through the optimizer, cost model,
+            and executor.  Defaults to the shared no-op tracer, which
+            records nothing and adds near-zero overhead.
     """
 
     def __init__(
@@ -70,12 +74,14 @@ class Session:
         cost_model: str = "engine",
         use_indexes: bool = True,
         enable_plan_cache: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         self.catalog = catalog
         self.base_table = base_table
         self.estimator = estimator
         self.cost_model_name = cost_model
         self.use_indexes = use_indexes
+        self.tracer = tracer or NOOP_TRACER
         self._coster: PlanCoster | None = None
         #: Plan cache: (queries, options) -> OptimizationResult, keyed
         #: per physical-design version.  Off by default so experiment
@@ -96,6 +102,7 @@ class Session:
         sample_rows: int = 10_000,
         seed: int = 0,
         use_indexes: bool = True,
+        tracer: Tracer | None = None,
     ) -> "Session":
         """Build a session around one table.
 
@@ -107,6 +114,7 @@ class Session:
             sample_rows: sample size for sampled statistics.
             seed: sampling seed.
             use_indexes: allow covering-index execution paths.
+            tracer: span tracer for the whole session (no-op default).
         """
         catalog = Catalog()
         catalog.add_table(table)
@@ -124,6 +132,7 @@ class Session:
             estimator,
             cost_model=cost_model,
             use_indexes=use_indexes,
+            tracer=tracer,
         )
 
     # -- cost model / coster ------------------------------------------------------
@@ -144,7 +153,7 @@ class Session:
                 raise ValueError(
                     f"unknown cost model {self.cost_model_name!r}"
                 )
-            self._coster = PlanCoster(model)
+            self._coster = PlanCoster(model, tracer=self.tracer)
         return self._coster
 
     def invalidate_coster(self) -> None:
@@ -187,12 +196,12 @@ class Session:
             if key in self._plan_cache:
                 self.plan_cache_hits += 1
                 return self._plan_cache[key]
-            result = GbMqoOptimizer(self.coster(), options).optimize(
-                self.base_table, queries
-            )
+            result = GbMqoOptimizer(
+                self.coster(), options, tracer=self.tracer
+            ).optimize(self.base_table, queries)
             self._plan_cache[key] = result
             return result
-        optimizer = GbMqoOptimizer(self.coster(), options)
+        optimizer = GbMqoOptimizer(self.coster(), options, tracer=self.tracer)
         return optimizer.optimize(self.base_table, queries)
 
     def execute(
@@ -200,6 +209,7 @@ class Session:
         plan: LogicalPlan,
         schedule: str = "storage",
         aggregates: list[AggregateSpec] | None = None,
+        tracer: Tracer | None = None,
     ) -> ExecutionResult:
         """Execute a logical plan.
 
@@ -208,6 +218,8 @@ class Session:
             schedule: 'storage' follows the Section 4.4.1 BF/DF marking;
                 'depth_first' uses plain pre-order.
             aggregates: aggregate list (COUNT(*) by default).
+            tracer: span tracer for this run only (defaults to the
+                session tracer).
         """
         if schedule == "storage":
             steps = storage_minimizing_schedule(
@@ -222,6 +234,7 @@ class Session:
             self.base_table,
             aggregates=aggregates,
             use_indexes=self.use_indexes,
+            tracer=tracer or self.tracer,
         )
         return executor.execute(plan, steps)
 
@@ -249,6 +262,18 @@ class Session:
         from repro.core.explain import explain_plan
 
         return explain_plan(plan, self.coster(), self.estimator)
+
+    def explain_analyze(self, plan: LogicalPlan, schedule: str = "storage"):
+        """EXPLAIN ANALYZE: execute the plan instrumented and report
+        estimated vs actual rows/bytes/time and q-error per node.
+
+        Returns:
+            A :class:`repro.obs.analyze.PlanAnalysis`; print its
+            ``render()`` for the human-readable form.
+        """
+        from repro.obs.analyze import explain_analyze
+
+        return explain_analyze(self, plan, schedule=schedule)
 
     def run_with_aggregates(self, queries, options=None):
         """Optimize and execute a workload with per-query aggregates.

@@ -6,6 +6,8 @@ Subcommands::
     python -m repro.cli profile data.csv [--combi 2] [--statistics sampled]
     python -m repro.cli plan data.csv --queries "city;state;city,state"
     python -m repro.cli compare data.csv [--combi 2]
+    python -m repro.cli explain data.csv [--analyze]
+    python -m repro.cli trace --workload sales --out trace.jsonl
     python -m repro.cli lint-plan plan.json [--max-storage-bytes N]
     python -m repro.cli lint-code [paths ...]
 
@@ -13,8 +15,11 @@ Subcommands::
 and prints a data-quality report; ``plan`` shows the chosen logical
 plan, the SQL script, and optionally DOT; ``compare`` times GB-MQO
 against the naive plan and the commercial-style GROUPING SETS strategy;
-``lint-plan`` runs the static plan verifier over a serialized plan;
-``lint-code`` runs the custom AST lints over the repro sources.
+``explain`` prints the plan with per-node estimates (``--analyze`` runs
+it and adds actuals plus q-error); ``trace`` runs optimize + execute
+under the span tracer and renders/exports the span tree; ``lint-plan``
+runs the static plan verifier over a serialized plan; ``lint-code``
+runs the custom AST lints over the repro sources.
 """
 
 from __future__ import annotations
@@ -34,7 +39,19 @@ from repro.baselines.grouping_sets import CommercialGroupingSetsPlanner
 from repro.core.visualize import plan_to_dot
 from repro.engine.csv_io import load_csv
 from repro.engine.sqlgen import plan_to_sql
+from repro.obs import Tracer, format_snapshot, render_span_tree, write_jsonl
+from repro.workloads.customers import make_customers
 from repro.workloads.queries import combi_workload, single_column_queries
+from repro.workloads.sales import make_sales
+from repro.workloads.tpch import make_lineitem
+
+#: Built-in synthetic relations for the observability subcommands, so
+#: ``repro trace``/``repro explain`` work without a CSV on hand.
+WORKLOAD_BUILDERS = {
+    "sales": make_sales,
+    "lineitem": make_lineitem,
+    "customers": make_customers,
+}
 
 
 def _build_session(args) -> tuple[Session, list[frozenset]]:
@@ -137,6 +154,92 @@ def cmd_compare(args) -> int:
         f"speedup vs naive: {naive.wall_seconds / execution.wall_seconds:.2f}x "
         f"(work: {naive.metrics.work / execution.metrics.work:.2f}x)"
     )
+    return 0
+
+
+def _obs_session(args, tracer: Tracer | None = None) -> tuple[Session, list[frozenset]]:
+    """Session + workload for the observability subcommands.
+
+    The source is either a CSV path (like the other subcommands) or one
+    of the built-in synthetic relations via ``--workload``.
+    """
+    if args.csv:
+        table = load_csv(args.csv, max_rows=args.max_rows)
+    else:
+        table = WORKLOAD_BUILDERS[args.workload](args.rows)
+    table.build_dictionaries()
+    session = Session.for_table(
+        table, statistics=args.statistics, tracer=tracer
+    )
+    columns = args.columns.split(",") if args.columns else list(table.column_names)
+    if args.queries:
+        queries = [
+            frozenset(part.split(",")) for part in args.queries.split(";")
+        ]
+    elif args.combi > 1:
+        queries = combi_workload(columns, args.combi)
+    else:
+        queries = single_column_queries(columns)
+    return session, queries
+
+
+def _require_source(args) -> bool:
+    if args.csv or args.workload:
+        return True
+    print(
+        "error: provide a CSV path or --workload "
+        f"({'/'.join(sorted(WORKLOAD_BUILDERS))})",
+        file=sys.stderr,
+    )
+    return False
+
+
+def cmd_explain(args) -> int:
+    if not _require_source(args):
+        return 2
+    session, queries = _obs_session(args)
+    result = session.optimize(queries)
+    print(result.plan.render())
+    print(
+        f"\nestimated cost {result.cost:,.0f} "
+        f"(naive {result.naive_cost:,.0f}, "
+        f"{result.estimated_speedup:.2f}x)"
+    )
+    if result.telemetry is not None:
+        print(f"search: {result.telemetry.summary()}")
+    if args.analyze:
+        print("\n-- EXPLAIN ANALYZE --")
+        print(session.explain_analyze(result.plan).render())
+    else:
+        print("\n-- EXPLAIN --")
+        print(session.explain(result.plan).render())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if not _require_source(args):
+        return 2
+    tracer = Tracer()
+    session, queries = _obs_session(args, tracer=tracer)
+    source = args.csv or args.workload
+    # One root span over the whole optimize + execute pipeline, so the
+    # exported tree has a single top-level entry covering both phases.
+    with tracer.span("trace", source=str(source), queries=len(queries)):
+        result = session.optimize(queries)
+        execution = session.execute(result.plan)
+    print(render_span_tree(tracer.spans))
+    if result.telemetry is not None:
+        print(f"\nsearch: {result.telemetry.summary()}")
+    print(
+        f"executed {execution.metrics.queries_executed} queries, "
+        f"{execution.metrics.work / 1e6:.1f} MB moved"
+    )
+    if args.metrics:
+        print("\n-- metrics snapshot --")
+        print(format_snapshot(tracer.metrics_snapshot()))
+    if args.out:
+        lines = write_jsonl(tracer, args.out)
+        print(f"\nwrote {lines} spans to {args.out}")
     return 0
 
 
@@ -305,6 +408,69 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="time GB-MQO vs baselines")
     common(compare)
     compare.set_defaults(fn=cmd_compare)
+
+    def obs_common(p):
+        p.add_argument(
+            "csv", nargs="?", help="input CSV file (or use --workload)"
+        )
+        p.add_argument(
+            "--workload",
+            choices=sorted(WORKLOAD_BUILDERS),
+            help="built-in synthetic relation instead of a CSV",
+        )
+        p.add_argument(
+            "--rows",
+            type=int,
+            default=20_000,
+            help="rows to generate for --workload (default 20000)",
+        )
+        p.add_argument(
+            "--columns",
+            help="comma-separated columns to group by (default: all)",
+        )
+        p.add_argument(
+            "--combi",
+            type=int,
+            default=1,
+            help="all column subsets up to this size (default 1)",
+        )
+        p.add_argument(
+            "--queries",
+            help="explicit queries, e.g. 'city;state;city,state'",
+        )
+        p.add_argument(
+            "--statistics",
+            choices=("exact", "sampled"),
+            default="sampled",
+        )
+        p.add_argument(
+            "--max-rows", type=int, default=None, help="row cap when loading"
+        )
+
+    explain = sub.add_parser(
+        "explain",
+        help="per-node estimates; --analyze adds actuals and q-error",
+    )
+    obs_common(explain)
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the plan; report actual rows/bytes/time and q-error",
+    )
+    explain.set_defaults(fn=cmd_explain)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run optimize + execute under the span tracer",
+    )
+    obs_common(trace)
+    trace.add_argument("--out", help="write the span tree to this JSONL file")
+    trace.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the flat counter/histogram snapshot",
+    )
+    trace.set_defaults(fn=cmd_trace)
 
     sql = sub.add_parser(
         "sql", help="run a GROUPING SETS / CUBE / ROLLUP statement"

@@ -14,7 +14,6 @@ merge, only pairs involving the newly created sub-plan are evaluated.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -24,6 +23,9 @@ from repro.core.plan import LogicalPlan, SubPlan, naive_plan
 from repro.core.pruning import MonotonicityPruner, SubsumptionPruner
 from repro.core.storage import min_intermediate_storage
 from repro.costmodel.base import PlanCoster
+from repro.obs.clock import monotonic
+from repro.obs.telemetry import SearchTelemetry
+from repro.obs.tracer import NOOP_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -82,6 +84,9 @@ class OptimizationResult:
     optimizer_calls: int
     optimization_seconds: float
     merge_log: list[str] = field(default_factory=list)
+    #: Structured search telemetry (counters + best-cost trajectory);
+    #: always populated by :meth:`GbMqoOptimizer.optimize`.
+    telemetry: SearchTelemetry | None = None
 
     @property
     def estimated_speedup(self) -> float:
@@ -98,13 +103,21 @@ class GbMqoOptimizer:
         coster: a :class:`PlanCoster` wrapping the cost model; its
             optimizer-call counter is the optimization-cost metric.
         options: search-space knobs.
+        tracer: span tracer; when enabled, the run is wrapped in an
+            ``optimize`` span with one ``optimize.iteration`` child per
+            hill-climbing iteration.  Defaults to the no-op tracer, so
+            an untraced run does no span work and allocates nothing.
     """
 
     def __init__(
-        self, coster: PlanCoster, options: OptimizerOptions | None = None
+        self,
+        coster: PlanCoster,
+        options: OptimizerOptions | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._coster = coster
         self.options = options or OptimizerOptions()
+        self._tracer = tracer or NOOP_TRACER
 
     @property
     def coster(self) -> PlanCoster:
@@ -114,11 +127,29 @@ class GbMqoOptimizer:
         self, relation: str, required: Iterable[frozenset[str]]
     ) -> OptimizationResult:
         """Find a logical plan for the required queries on ``relation``."""
-        started = time.perf_counter()
+        with self._tracer.span("optimize", relation=relation) as span:
+            result = self._search(relation, required)
+            span.set(
+                queries=len(result.plan.required),
+                iterations=result.iterations,
+                cost=result.cost,
+                naive_cost=result.naive_cost,
+                optimizer_calls=result.optimizer_calls,
+            )
+        return result
+
+    def _search(
+        self, relation: str, required: Iterable[frozenset[str]]
+    ) -> OptimizationResult:
+        """The Figure 5 hill climb (body of :meth:`optimize`)."""
+        started = monotonic()
         calls_before = self._coster.optimizer_calls
+        telemetry = SearchTelemetry()
         plan = naive_plan(relation, required)
         required_sets = plan.required
         naive_cost = self._coster.plan_cost(plan)
+        current_cost = naive_cost
+        telemetry.best_cost_trajectory.append(naive_cost)
         merge_opts = self.options.merge_options()
 
         codec = BitsetCodec(
@@ -154,16 +185,21 @@ class GbMqoOptimizer:
             if key in pair_best:
                 return pair_best[key]
             merges_evaluated += 1
+            telemetry.pair_evaluations += 1
             p1, p2 = forest[id1], forest[id2]
             best_delta, best_candidate = 0.0, None
             for candidate in subplan_merge(p1, p2, required_sets, merge_opts):
+                telemetry.candidates_considered += 1
                 if not self._storage_admissible(candidate):
+                    telemetry.candidates_rejected_storage += 1
                     continue
                 delta = (
                     self._coster.subplan_cost(candidate)
                     - self._coster.subplan_cost(p1)
                     - self._coster.subplan_cost(p2)
                 )
+                if delta >= -self.options.epsilon:
+                    telemetry.candidates_rejected_cost += 1
                 if delta < best_delta:
                     best_delta, best_candidate = delta, candidate
             pair_best[key] = (best_delta, best_candidate)
@@ -171,60 +207,71 @@ class GbMqoOptimizer:
 
         while True:
             iterations += 1
-            ids = sorted(forest)
-            pairs = [
-                (ids[i], ids[j])
-                for i in range(len(ids))
-                for j in range(i + 1, len(ids))
-            ]
-            if subsumption is not None and pairs:
-                unions = [masks[a] | masks[b] for a, b in pairs]
-                allowed = subsumption.allowed_unions(unions)
-                surviving = []
-                for (a, b), union in zip(pairs, unions):
-                    if union in allowed:
-                        surviving.append((a, b))
-                    else:
-                        pruned_subsumption += 1
-                pairs = surviving
-            best = (0.0, None, None, None)
-            for id1, id2 in pairs:
-                union_mask = masks[id1] | masks[id2]
-                if monotonicity is not None and monotonicity.is_pruned(
-                    union_mask
-                ):
-                    pruned_monotonicity += 1
-                    continue
-                delta, candidate = evaluate_pair(id1, id2)
-                if candidate is None or delta >= -self.options.epsilon:
-                    mergeable = all(
-                        forest[i].node.kind.name == "GROUP_BY"
-                        for i in (id1, id2)
-                    )
-                    if monotonicity is not None and mergeable:
-                        monotonicity.record_failure(union_mask)
-                    continue
-                if delta < best[0]:
-                    best = (delta, candidate, id1, id2)
-            delta, candidate, id1, id2 = best
-            if candidate is None:
-                break
-            merge_log.append(
-                f"merged {forest[id1].node.describe()} + "
-                f"{forest[id2].node.describe()} -> "
-                f"{candidate.node.describe()} (delta {delta:.1f})"
-            )
-            for stale in (id1, id2):
-                del forest[stale]
-                del masks[stale]
-            stale_keys = [
-                key for key in pair_best if id1 in key or id2 in key
-            ]
-            for key in stale_keys:
-                del pair_best[key]
-            forest[next_id] = candidate
-            masks[next_id] = codec.encode(candidate.node.columns)
-            next_id += 1
+            with self._tracer.span(
+                "optimize.iteration", index=iterations
+            ) as iteration_span:
+                ids = sorted(forest)
+                pairs = [
+                    (ids[i], ids[j])
+                    for i in range(len(ids))
+                    for j in range(i + 1, len(ids))
+                ]
+                if subsumption is not None and pairs:
+                    unions = [masks[a] | masks[b] for a, b in pairs]
+                    allowed = subsumption.allowed_unions(unions)
+                    surviving = []
+                    for (a, b), union in zip(pairs, unions):
+                        if union in allowed:
+                            surviving.append((a, b))
+                        else:
+                            pruned_subsumption += 1
+                    pairs = surviving
+                telemetry.pairs_considered += len(pairs)
+                best = (0.0, None, None, None)
+                for id1, id2 in pairs:
+                    union_mask = masks[id1] | masks[id2]
+                    if monotonicity is not None and monotonicity.is_pruned(
+                        union_mask
+                    ):
+                        pruned_monotonicity += 1
+                        continue
+                    delta, candidate = evaluate_pair(id1, id2)
+                    if candidate is None or delta >= -self.options.epsilon:
+                        mergeable = all(
+                            forest[i].node.kind.name == "GROUP_BY"
+                            for i in (id1, id2)
+                        )
+                        if monotonicity is not None and mergeable:
+                            monotonicity.record_failure(union_mask)
+                        continue
+                    if delta < best[0]:
+                        best = (delta, candidate, id1, id2)
+                delta, candidate, id1, id2 = best
+                iteration_span.set(
+                    subplans=len(ids), pairs=len(pairs), accepted=candidate is not None
+                )
+                if candidate is None:
+                    break
+                telemetry.merges_accepted += 1
+                current_cost += delta
+                telemetry.best_cost_trajectory.append(current_cost)
+                iteration_span.set(delta=delta, best_cost=current_cost)
+                merge_log.append(
+                    f"merged {forest[id1].node.describe()} + "
+                    f"{forest[id2].node.describe()} -> "
+                    f"{candidate.node.describe()} (delta {delta:.1f})"
+                )
+                for stale in (id1, id2):
+                    del forest[stale]
+                    del masks[stale]
+                stale_keys = [
+                    key for key in pair_best if id1 in key or id2 in key
+                ]
+                for key in stale_keys:
+                    del pair_best[key]
+                forest[next_id] = candidate
+                masks[next_id] = codec.encode(candidate.node.columns)
+                next_id += 1
 
         final = LogicalPlan(
             relation,
@@ -232,6 +279,8 @@ class GbMqoOptimizer:
             required_sets,
         )
         final.validate()
+        telemetry.pairs_pruned_subsumption = pruned_subsumption
+        telemetry.pairs_pruned_monotonicity = pruned_monotonicity
         result = OptimizationResult(
             plan=final,
             cost=self._coster.plan_cost(final),
@@ -241,9 +290,11 @@ class GbMqoOptimizer:
             pairs_pruned_subsumption=pruned_subsumption,
             pairs_pruned_monotonicity=pruned_monotonicity,
             optimizer_calls=self._coster.optimizer_calls - calls_before,
-            optimization_seconds=time.perf_counter() - started,
+            optimization_seconds=monotonic() - started,
             merge_log=merge_log,
+            telemetry=telemetry,
         )
+        telemetry.cost_model_calls = result.optimizer_calls
         if self.options.debug_verify:
             # Post-condition: the full rule catalog, with cost / storage
             # context.  Runs after the call-count metric is captured so

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Protocol
 
 from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+from repro.obs.tracer import NOOP_TRACER, Tracer
 
 
 class CostModel(Protocol):
@@ -37,10 +38,14 @@ class PlanCoster:
 
     Args:
         model: the cost model to delegate uncached edge costs to.
+        tracer: span tracer; every uncached model invocation is wrapped
+            in a ``costmodel.edge_cost`` span and counted when tracing
+            is enabled (the default no-op tracer costs one branch).
     """
 
-    def __init__(self, model: CostModel) -> None:
+    def __init__(self, model: CostModel, tracer: Tracer | None = None) -> None:
         self._model = model
+        self._tracer = tracer or NOOP_TRACER
         self._edge_cache: dict[tuple, float] = {}
         self._subplan_cache: dict[SubPlan, float] = {}
         #: Number of distinct costing requests sent to the model — the
@@ -61,9 +66,22 @@ class PlanCoster:
         key = (parent, child, materialize_child)
         if key not in self._edge_cache:
             self.optimizer_calls += 1
-            self._edge_cache[key] = self._model.edge_cost(
-                parent, child, materialize_child
-            )
+            if self._tracer.enabled:
+                with self._tracer.span(
+                    "costmodel.edge_cost",
+                    child=child.describe(),
+                    source=parent.describe() if parent else "R",
+                    materialize=materialize_child,
+                ) as span:
+                    cost = self._model.edge_cost(
+                        parent, child, materialize_child
+                    )
+                    span.set(cost=cost)
+                self._tracer.count("costmodel.calls")
+                self._tracer.observe("costmodel.edge_cost", cost)
+            else:
+                cost = self._model.edge_cost(parent, child, materialize_child)
+            self._edge_cache[key] = cost
         return self._edge_cache[key]
 
     def subplan_cost(self, subplan: SubPlan) -> float:

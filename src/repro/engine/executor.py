@@ -13,7 +13,6 @@ parent, and every other covered grouping is computed from that result.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.plan import LogicalPlan, NodeKind, PlanNode
@@ -23,6 +22,8 @@ from repro.engine.catalog import Catalog
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.table import Table
 from repro.engine.types import EngineError
+from repro.obs.clock import monotonic
+from repro.obs.tracer import NOOP_TRACER, Tracer
 
 
 class ExecutionError(EngineError):
@@ -62,6 +63,11 @@ class PlanExecutor:
             :func:`repro.engine.aggregation.reaggregate_specs`).
         use_indexes: answer base-table Group Bys from a covering index
             when one exists and is narrower than the referenced columns.
+        tracer: span tracer; when enabled, the run is wrapped in an
+            ``execute.plan`` span with one ``execute.node`` child per
+            compute step carrying actual rows/bytes.  Tracing is
+            read-only: results and deterministic counters are identical
+            with it on or off.
     """
 
     def __init__(
@@ -70,12 +76,14 @@ class PlanExecutor:
         base_table: str,
         aggregates: list[AggregateSpec] | None = None,
         use_indexes: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self._catalog = catalog
         self._base_table = base_table
         self._aggregates = aggregates or [AggregateSpec.count_star("cnt")]
         self._reaggregates = reaggregate_specs(self._aggregates)
         self._use_indexes = use_indexes
+        self._tracer = tracer or NOOP_TRACER
 
     def execute(
         self, plan: LogicalPlan, steps: list[Step] | None = None
@@ -89,25 +97,36 @@ class PlanExecutor:
         if steps is None:
             steps = depth_first_schedule(plan)
         result = ExecutionResult()
-        started = time.perf_counter()
+        started = monotonic()
         peak_before = self._catalog.peak_temp_bytes
         current_before = self._catalog.current_temp_bytes
         local_peak = current_before
-        try:
-            for step in steps:
-                if step.action == "compute":
-                    self._run_compute(step, result)
-                elif step.action == "drop":
-                    self._catalog.drop_temp(temp_name_for(step.node))
-                else:
-                    raise ExecutionError(f"unknown step action {step.action!r}")
-                local_peak = max(local_peak, self._catalog.current_temp_bytes)
-        finally:
-            # Leave no temporaries behind even on failure.
-            for name in self._catalog.temp_names():
-                if name.startswith("tmp__"):
-                    self._catalog.drop_temp(name)
-        result.wall_seconds = time.perf_counter() - started
+        with self._tracer.span(
+            "execute.plan", relation=plan.relation, steps=len(steps)
+        ) as plan_span:
+            try:
+                for step in steps:
+                    if step.action == "compute":
+                        self._run_compute(step, result)
+                    elif step.action == "drop":
+                        self._catalog.drop_temp(temp_name_for(step.node))
+                    else:
+                        raise ExecutionError(
+                            f"unknown step action {step.action!r}"
+                        )
+                    local_peak = max(
+                        local_peak, self._catalog.current_temp_bytes
+                    )
+            finally:
+                # Leave no temporaries behind even on failure.
+                for name in self._catalog.temp_names():
+                    if name.startswith("tmp__"):
+                        self._catalog.drop_temp(name)
+            plan_span.set(
+                work=result.metrics.work,
+                queries=result.metrics.queries_executed,
+            )
+        result.wall_seconds = monotonic() - started
         result.peak_temp_bytes = local_peak - current_before
         # Keep the catalog's all-time peak meaningful across runs.
         self._catalog.peak_temp_bytes = max(peak_before, local_peak)
@@ -158,32 +177,42 @@ class PlanExecutor:
         metrics = result.metrics
         metrics.queries_executed += 1
         bytes_before = metrics.work
-        if step.node.kind is NodeKind.GROUP_BY:
-            table = self._group(
-                source,
-                from_base,
-                step.node.columns,
-                temp_name_for(step.node),
-                metrics,
-            )
-            if step.materialize:
-                self._catalog.materialize_temp(table)
-                # Dictionary-encode the temp's key columns now so child
-                # queries aggregate over dense codes (the cost model
-                # charges this encode work as part of materialization).
-                for column in sorted(step.node.columns):
-                    table.dictionary(column)
-                metrics.record_materialize(table.num_rows, table.size_bytes())
-            if step.required:
-                result.results[step.node.columns] = table
-        elif step.node.kind is NodeKind.CUBE:
-            self._run_cube(step, source, from_base, result)
-        else:
-            self._run_rollup(step, source, from_base, result)
-        # Attribute this step's bytes for per-node observability.
-        metrics.per_query_bytes[step.node.describe()] = (
-            metrics.work - bytes_before
-        )
+        with self._tracer.span(
+            "execute.node",
+            node=step.node.describe(),
+            source=step.parent.describe() if step.parent else "R",
+            kind=step.node.kind.value,
+            materialized=step.materialize,
+        ) as span:
+            if step.node.kind is NodeKind.GROUP_BY:
+                table = self._group(
+                    source,
+                    from_base,
+                    step.node.columns,
+                    temp_name_for(step.node),
+                    metrics,
+                )
+                if step.materialize:
+                    self._catalog.materialize_temp(table)
+                    # Dictionary-encode the temp's key columns now so child
+                    # queries aggregate over dense codes (the cost model
+                    # charges this encode work as part of materialization).
+                    for column in sorted(step.node.columns):
+                        table.dictionary(column)
+                    metrics.record_materialize(
+                        table.num_rows, table.size_bytes()
+                    )
+                if step.required:
+                    result.results[step.node.columns] = table
+                rows_out = table.num_rows
+            elif step.node.kind is NodeKind.CUBE:
+                rows_out = self._run_cube(step, source, from_base, result)
+            else:
+                rows_out = self._run_rollup(step, source, from_base, result)
+            # Attribute this step's bytes for per-node observability.
+            step_bytes = metrics.work - bytes_before
+            metrics.per_query_bytes[step.node.describe()] = step_bytes
+            span.set(rows_out=rows_out, bytes=step_bytes)
 
     def _run_cube(
         self,
@@ -191,9 +220,9 @@ class PlanExecutor:
         source: Table,
         from_base: bool,
         result: ExecutionResult,
-    ) -> None:
+    ) -> int:
         """CUBE node: full Group By from the parent, then each covered
-        grouping from that result."""
+        grouping from that result.  Returns the top grouping's rows."""
         metrics = result.metrics
         top = self._group(
             source,
@@ -217,6 +246,7 @@ class PlanExecutor:
                 metrics=metrics,
             )
             result.results[query] = table
+        return top.num_rows
 
     def _run_rollup(
         self,
@@ -224,8 +254,9 @@ class PlanExecutor:
         source: Table,
         from_base: bool,
         result: ExecutionResult,
-    ) -> None:
-        """ROLLUP node: successive prefixes, each from the previous."""
+    ) -> int:
+        """ROLLUP node: successive prefixes, each from the previous.
+        Returns the full grouping's rows."""
         metrics = result.metrics
         order = step.node.rollup_order
         current = self._group(
@@ -235,6 +266,7 @@ class PlanExecutor:
             temp_name_for(step.node),
             metrics,
         )
+        top_rows = current.num_rows
         if step.node.columns in step.direct_answers:
             result.results[step.node.columns] = current
         for i in range(len(order) - 1, 0, -1):
@@ -249,6 +281,7 @@ class PlanExecutor:
             )
             if prefix in step.direct_answers:
                 result.results[prefix] = current
+        return top_rows
 
 
 def execute_naive(

@@ -25,7 +25,20 @@ class ExecutionMetrics:
     index_scans: int = 0
     queries_executed: int = 0
     sort_ops: int = 0
-    per_query_bytes: dict = field(default_factory=dict)
+    per_query_bytes: dict[str, int] = field(default_factory=dict)
+
+    #: The scalar counter fields, in declaration order (used by
+    #: :meth:`as_dict` and :meth:`diff` so new counters stay covered).
+    COUNTER_FIELDS = (
+        "rows_scanned",
+        "bytes_scanned",
+        "rows_materialized",
+        "bytes_materialized",
+        "group_by_ops",
+        "index_scans",
+        "queries_executed",
+        "sort_ops",
+    )
 
     @property
     def work(self) -> int:
@@ -51,15 +64,44 @@ class ExecutionMetrics:
     def merged_with(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
         """Return a new metrics object combining self and other."""
         merged = ExecutionMetrics(
-            rows_scanned=self.rows_scanned + other.rows_scanned,
-            bytes_scanned=self.bytes_scanned + other.bytes_scanned,
-            rows_materialized=self.rows_materialized + other.rows_materialized,
-            bytes_materialized=self.bytes_materialized + other.bytes_materialized,
-            group_by_ops=self.group_by_ops + other.group_by_ops,
-            index_scans=self.index_scans + other.index_scans,
-            queries_executed=self.queries_executed + other.queries_executed,
-            sort_ops=self.sort_ops + other.sort_ops,
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in self.COUNTER_FIELDS
+            }
         )
+        # Per-query bytes are additive too: when both sides ran the same
+        # query, its bytes must sum, not clobber.
         merged.per_query_bytes = dict(self.per_query_bytes)
-        merged.per_query_bytes.update(other.per_query_bytes)
+        for query, bytes_ in other.per_query_bytes.items():
+            merged.per_query_bytes[query] = (
+                merged.per_query_bytes.get(query, 0) + bytes_
+            )
         return merged
+
+    def as_dict(self, per_query: bool = False) -> dict[str, object]:
+        """Flat snapshot of every counter (plus the derived ``work``).
+
+        Args:
+            per_query: include the ``per_query_bytes`` mapping (as a
+                copy) under its own key.
+        """
+        snapshot: dict[str, object] = {
+            name: getattr(self, name) for name in self.COUNTER_FIELDS
+        }
+        snapshot["work"] = self.work
+        if per_query:
+            snapshot["per_query_bytes"] = dict(self.per_query_bytes)
+        return snapshot
+
+    def diff(self, before: "ExecutionMetrics") -> dict[str, int]:
+        """Per-counter deltas of self minus an earlier snapshot.
+
+        Useful for attributing a region of execution (e.g. one plan
+        node) without mutating or copying the shared metrics object.
+        """
+        deltas = {
+            name: getattr(self, name) - getattr(before, name)
+            for name in self.COUNTER_FIELDS
+        }
+        deltas["work"] = self.work - before.work
+        return deltas

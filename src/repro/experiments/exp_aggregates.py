@@ -73,20 +73,22 @@ def run(rows: int = 150_000, repeats: int = 1) -> ExperimentResult:
             "Queries executed",
         ),
     )
+    naive_metrics = naive_run.metrics.as_dict()
+    plan_metrics = plan_run.metrics.as_dict()
     result.rows.append(
         (
             "naive",
             naive_seconds,
-            naive_run.metrics.work / 1e6,
-            naive_run.metrics.queries_executed,
+            naive_metrics["work"] / 1e6,
+            naive_metrics["queries_executed"],
         )
     )
     result.rows.append(
         (
             "GB-MQO (union aggregates)",
             plan_seconds,
-            plan_run.metrics.work / 1e6,
-            plan_run.metrics.queries_executed,
+            plan_metrics["work"] / 1e6,
+            plan_metrics["queries_executed"],
         )
     )
     result.notes.append(

@@ -11,7 +11,11 @@ panel of the paper's figure:
 
 from __future__ import annotations
 
-from repro.experiments.harness import make_session, run_comparison
+from repro.experiments.harness import (
+    aggregate_trace_note,
+    make_session,
+    run_comparison,
+)
 from repro.experiments.report import ExperimentResult
 from repro.workloads.queries import single_column_queries, widen_table
 from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
@@ -36,11 +40,13 @@ def run(
             "speedup",
         ),
     )
+    comparisons = []
     for width in widths:
         table = widen_table(base, width)
         session = make_session(table)
         queries = single_column_queries(table.column_names)
         comparison = run_comparison(session, queries, repeats=repeats)
+        comparisons.append(comparison)
         optimization = comparison.optimization
         opt_seconds = max(
             0.0,
@@ -61,6 +67,7 @@ def run(
         "< 100 s; statistics-creation time excluded from opt time as in "
         "Section 6.4"
     )
+    result.notes.append(aggregate_trace_note(comparisons))
     return result
 
 

@@ -13,7 +13,11 @@ workloads while the plan still reduces naive runtime by > 65%.
 from __future__ import annotations
 
 from repro.core.optimizer import OptimizerOptions
-from repro.experiments.harness import make_session, run_comparison
+from repro.experiments.harness import (
+    make_session,
+    run_comparison,
+    trace_note,
+)
 from repro.experiments.report import ExperimentResult
 from repro.workloads.queries import single_column_queries, two_column_queries
 from repro.workloads.sales import SALES_COLUMNS, make_sales
@@ -72,6 +76,10 @@ def run(
             for label, options in PRUNING_CONFIGS:
                 session = make_session(table)
                 comparison = run_comparison(session, queries, options, repeats)
+                if label == "S+M":
+                    result.notes.append(
+                        f"{name} ({workload.lower()}) S+M {trace_note(comparison)}"
+                    )
                 result.rows.append(
                     (
                         f"{name} ({workload.lower()})",

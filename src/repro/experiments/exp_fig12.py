@@ -12,7 +12,11 @@ Paper finding: 1-15%, shrinking as the dataset grows.
 from __future__ import annotations
 
 from repro.core.optimizer import OptimizerOptions
-from repro.experiments.harness import make_session, run_comparison
+from repro.experiments.harness import (
+    aggregate_trace_note,
+    make_session,
+    run_comparison,
+)
 from repro.experiments.report import ExperimentResult
 from repro.workloads.queries import single_column_queries, two_column_queries
 from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
@@ -39,6 +43,7 @@ def run(
         binary_tree_only=True, subsumption_pruning=True
     )
     scales = (("tpc-h 1g", rows_1g, 44), ("tpc-h 10g", rows_10g, 45))
+    comparisons = []
     for name, rows, seed in scales:
         table = make_lineitem(rows, seed=seed)
         for workload in ("sc", "tc"):
@@ -48,6 +53,7 @@ def run(
             else:
                 queries = two_column_queries(LINEITEM_SC_COLUMNS)
             comparison = run_comparison(session, queries, options, repeats)
+            comparisons.append(comparison)
             saving = comparison.naive_seconds - comparison.plan_seconds
             overhead = (
                 100.0 * comparison.statistics_seconds / saving
@@ -70,6 +76,7 @@ def run(
         "paper: overhead 1-15%, smaller on the larger dataset; one shared "
         "sample serves all statistics"
     )
+    result.notes.append(aggregate_trace_note(comparisons))
     return result
 
 

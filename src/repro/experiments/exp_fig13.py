@@ -8,7 +8,11 @@ merges more attractive.
 
 from __future__ import annotations
 
-from repro.experiments.harness import make_session, run_comparison
+from repro.experiments.harness import (
+    aggregate_trace_note,
+    make_session,
+    run_comparison,
+)
 from repro.experiments.report import ExperimentResult
 from repro.workloads.queries import single_column_queries
 from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
@@ -33,10 +37,12 @@ def run(
         ),
     )
     queries = single_column_queries(LINEITEM_SC_COLUMNS)
+    comparisons = []
     for z in z_values:
         table = make_lineitem(rows, z=z)
         session = make_session(table)
         comparison = run_comparison(session, queries, repeats=repeats)
+        comparisons.append(comparison)
         merged = sum(
             1
             for subplan in comparison.optimization.plan.iter_subplans()
@@ -56,6 +62,7 @@ def run(
         "paper: speedup rises from ~2.4x (z=0) to ~4x (z=3); expect a "
         "non-decreasing trend in work ratio"
     )
+    result.notes.append(aggregate_trace_note(comparisons))
     return result
 
 

@@ -13,7 +13,11 @@ re-optimized and re-run after each.  Expected shapes:
 
 from __future__ import annotations
 
-from repro.experiments.harness import make_session, run_comparison
+from repro.experiments.harness import (
+    aggregate_trace_note,
+    make_session,
+    run_comparison,
+)
 from repro.experiments.report import ExperimentResult
 from repro.workloads.queries import single_column_queries
 from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
@@ -64,16 +68,18 @@ def run(rows: int = 200_000, repeats: int = 1) -> ExperimentResult:
         (f"NC {i + 1}: {column}", column)
         for i, column in enumerate(INDEX_ORDER)
     ]
+    comparisons = []
     for label, column in steps:
         if column is not None:
             session.create_index((column,))
         comparison = run_comparison(session, queries, repeats=repeats)
+        comparisons.append(comparison)
         result.rows.append(
             (
                 label,
                 comparison.plan_seconds,
                 comparison.plan_work / 1e6,
-                comparison.execution.metrics.index_scans,
+                comparison.execution.metrics.as_dict()["index_scans"],
                 "yes"
                 if _is_singleton(comparison.optimization.plan, "l_receiptdate")
                 else "no",
@@ -83,6 +89,7 @@ def run(rows: int = 200_000, repeats: int = 1) -> ExperimentResult:
         "paper: time falls with each index, sharply for the dense "
         "l_comment; indexed columns become singletons (plan adaptation)"
     )
+    result.notes.append(aggregate_trace_note(comparisons))
     return result
 
 

@@ -12,7 +12,11 @@ most workloads, and never better.
 from __future__ import annotations
 
 from repro.core.exhaustive import optimal_plan
-from repro.experiments.harness import make_session, run_comparison
+from repro.experiments.harness import (
+    aggregate_trace_note,
+    make_session,
+    run_comparison,
+)
 from repro.experiments.report import ExperimentResult
 from repro.workloads.queries import random_subset_workloads
 from repro.workloads.tpch import LINEITEM_SC_COLUMNS, make_lineitem
@@ -42,8 +46,10 @@ def run(
             "GB-MQO cost / optimal cost",
         ),
     )
+    comparisons = []
     for i, queries in enumerate(workloads):
         comparison = run_comparison(session, queries, repeats=repeats)
+        comparisons.append(comparison)
         exhaustive = optimal_plan(table.name, queries, session.coster())
         optimal_execution = session.execute(exhaustive.plan)
         optimal_reduction = (
@@ -66,6 +72,7 @@ def run(
         "work = engine bytes read+written, the deterministic stand-in for "
         "disk-bound runtime at this scale"
     )
+    result.notes.append(aggregate_trace_note(comparisons))
     return result
 
 

@@ -62,6 +62,60 @@ class Comparison:
             return 0.0
         return 1.0 - self.plan_work / self.naive_work
 
+    def trace_summary(self) -> dict[str, object]:
+        """Flat digest of the run for trace sinks and experiment notes.
+
+        Combines the optimizer's search telemetry (``search.*`` keys)
+        with the engine's counter snapshot (``execution.*`` keys, via
+        :meth:`ExecutionMetrics.as_dict`).
+        """
+        summary: dict[str, object] = {
+            "n_queries": self.n_queries,
+            "plan_seconds": self.plan_seconds,
+            "naive_seconds": self.naive_seconds,
+        }
+        telemetry = self.optimization.telemetry
+        if telemetry is not None:
+            for key, value in telemetry.as_dict().items():
+                if key != "best_cost_trajectory":
+                    summary[f"search.{key}"] = value
+        for key, value in self.execution.metrics.as_dict().items():
+            summary[f"execution.{key}"] = value
+        return summary
+
+
+def trace_note(comparison: Comparison) -> str:
+    """One-line search/execution digest for an experiment's notes."""
+    telemetry = comparison.optimization.telemetry
+    search = telemetry.summary() if telemetry is not None else "no telemetry"
+    metrics = comparison.execution.metrics
+    return (
+        f"trace: {search}; engine work "
+        f"{metrics.work / 1e6:.1f} MB over "
+        f"{metrics.queries_executed} queries"
+    )
+
+
+def aggregate_trace_note(comparisons: list[Comparison]) -> str:
+    """Digest of many runs (one note line instead of one per workload)."""
+    if not comparisons:
+        return "trace: no runs"
+    totals: dict[str, float] = {}
+    for comparison in comparisons:
+        for key, value in comparison.trace_summary().items():
+            if isinstance(value, (int, float)):
+                totals[key] = totals.get(key, 0.0) + value
+    n = len(comparisons)
+    merges = int(totals.get("search.merges_accepted", 0))
+    candidates = int(totals.get("search.candidates_considered", 0))
+    calls = int(totals.get("search.cost_model_calls", 0))
+    work_mb = totals.get("execution.work", 0.0) / 1e6
+    return (
+        f"trace: {n} runs, {merges} merges accepted / "
+        f"{candidates} candidates, {calls} cost-model calls, "
+        f"{work_mb:.1f} MB engine work"
+    )
+
 
 def make_session(
     table: Table,

@@ -1,0 +1,53 @@
+"""Observability: span tracing, search telemetry, EXPLAIN ANALYZE.
+
+The ``repro.obs`` package makes every layer of the reproduction
+introspectable:
+
+* :mod:`repro.obs.clock` — the monotonic clock helper all timing uses;
+* :mod:`repro.obs.tracer` — span trees, counters, histograms, with a
+  near-zero-overhead no-op mode (the default everywhere);
+* :mod:`repro.obs.telemetry` — structured optimizer-search telemetry;
+* :mod:`repro.obs.analyze` — EXPLAIN ANALYZE with estimated-vs-actual
+  per-node accounting and q-errors;
+* :mod:`repro.obs.export` — JSONL traces, ASCII span trees, flat
+  metrics snapshots.
+
+In the layering, ``obs`` sits beside ``analysis``: the tracer and
+telemetry primitives depend on nothing, and the instrumented layers
+(``core.optimizer``, ``costmodel.base``, ``engine.executor``) accept a
+tracer without requiring one.
+"""
+
+from repro.obs.analyze import AnalyzedNode, PlanAnalysis, explain_analyze, q_error
+from repro.obs.clock import ManualClock, monotonic
+from repro.obs.export import (
+    format_snapshot,
+    read_jsonl,
+    render_span_tree,
+    spans_from_dicts,
+    trace_summary,
+    write_jsonl,
+)
+from repro.obs.telemetry import SearchTelemetry
+from repro.obs.tracer import NOOP_TRACER, HistogramStats, NoopTracer, Span, Tracer
+
+__all__ = [
+    "AnalyzedNode",
+    "HistogramStats",
+    "ManualClock",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "PlanAnalysis",
+    "SearchTelemetry",
+    "Span",
+    "Tracer",
+    "explain_analyze",
+    "format_snapshot",
+    "monotonic",
+    "q_error",
+    "read_jsonl",
+    "render_span_tree",
+    "spans_from_dicts",
+    "trace_summary",
+    "write_jsonl",
+]

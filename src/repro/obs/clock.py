@@ -1,0 +1,37 @@
+"""Monotonic clock helper for all observability timing.
+
+Every span and timing in ``repro`` must come from a monotonic source —
+``time.time()`` jumps under NTP slew and DST, which corrupts span
+durations and the paper-style timing columns alike.  The CL207 lint
+forbids ``time.time()`` anywhere under ``src/repro``; this module is
+the sanctioned alternative.
+
+The tracer takes the clock as an injectable callable so tests can drive
+spans with a deterministic fake (see :class:`ManualClock`).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic() -> float:
+    """Monotonic seconds with the highest resolution available."""
+    return time.perf_counter()
+
+
+class ManualClock:
+    """Deterministic clock for tests: advances only when told to.
+
+    Args:
+        start: initial reading in seconds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now

@@ -1,0 +1,133 @@
+"""Export sinks for traces: JSONL files, ASCII trees, flat snapshots.
+
+JSONL is the interchange format (one span per line, parents emitted
+before children, so a stream consumer can rebuild the tree online); the
+ASCII tree is the human view the ``repro trace`` CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.tracer import Span, Tracer
+
+
+def write_jsonl(tracer_or_spans: Tracer | Sequence[Span], path: str | Path) -> int:
+    """Write spans to ``path`` as JSONL; returns the number of lines."""
+    spans = _spans_of(tracer_or_spans)
+    lines = [json.dumps(span.to_dict(), sort_keys=True) for span in spans]
+    Path(path).write_text(
+        "".join(line + "\n" for line in lines), encoding="utf-8"
+    )
+    return len(lines)
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, object]]:
+    """Parse a span JSONL file back into dicts (line-by-line)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _spans_of(tracer_or_spans: Tracer | Sequence[Span]) -> Sequence[Span]:
+    if isinstance(tracer_or_spans, Tracer):
+        return tracer_or_spans.spans
+    return tracer_or_spans
+
+
+def _format_attributes(attributes: dict[str, object]) -> str:
+    if not attributes:
+        return ""
+    inner = ", ".join(
+        f"{key}={_format_value(value)}"
+        for key, value in sorted(attributes.items())
+    )
+    return f"  {{{inner}}}"
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:,.3g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_span_tree(spans: Sequence[Span]) -> str:
+    """ASCII tree of a span list: name, duration, attributes."""
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    lines: list[str] = []
+
+    def emit(span: Span, indent: str, branch: str, extension: str) -> None:
+        lines.append(
+            f"{indent}{branch}{span.name}  "
+            f"{span.duration * 1e3:.3f} ms"
+            f"{_format_attributes(span.attributes)}"
+        )
+        kids = children.get(span.span_id, [])
+        for i, child in enumerate(kids):
+            last = i == len(kids) - 1
+            emit(
+                child,
+                indent + extension,
+                "└── " if last else "├── ",
+                "    " if last else "│   ",
+            )
+
+    for root in children.get(None, []):
+        emit(root, "", "", "")
+    return "\n".join(lines)
+
+
+def trace_summary(tracer: Tracer, **extra: object) -> dict[str, object]:
+    """Flat trace digest: metrics snapshot plus root-span durations."""
+    summary: dict[str, object] = dict(tracer.metrics_snapshot())
+    for root in tracer.root_spans():
+        summary[f"{root.name}.seconds"] = root.duration
+    summary.update(extra)
+    return summary
+
+
+def format_snapshot(snapshot: dict[str, object], indent: str = "  ") -> str:
+    """Render a flat metrics snapshot for terminal output."""
+    width = max((len(key) for key in snapshot), default=0)
+    return "\n".join(
+        f"{indent}{key.ljust(width)}  {_format_value(value)}"
+        for key, value in sorted(snapshot.items())
+    )
+
+
+def spans_from_dicts(records: Iterable[dict[str, object]]) -> list[Span]:
+    """Rebuild Span objects from JSONL records (for tree re-rendering)."""
+    spans = []
+    for record in records:
+        spans.append(
+            Span(
+                name=str(record["name"]),
+                span_id=int(record["span_id"]),  # type: ignore[arg-type]
+                parent_id=(
+                    None
+                    if record.get("parent_id") is None
+                    else int(record["parent_id"])  # type: ignore[arg-type]
+                ),
+                start=float(record["start"]),  # type: ignore[arg-type]
+                end=(
+                    None
+                    if record.get("end") is None
+                    else float(record["end"])  # type: ignore[arg-type]
+                ),
+                attributes=dict(record.get("attributes", {})),  # type: ignore[arg-type]
+            )
+        )
+    return spans

@@ -1,0 +1,283 @@
+"""Span tracer: parent/child span trees with near-zero disabled cost.
+
+The tracer is the one instrumentation primitive every layer shares.  A
+*span* is a named, monotonic-clocked interval with attached attributes;
+spans nest via an explicit stack, so whatever runs inside a
+``with tracer.span(...)`` block becomes a child of that span.  The same
+object also carries flat counters and histograms (the optimizer's
+search telemetry sinks into these), and a one-call flat snapshot for
+export.
+
+Two implementations share the interface:
+
+* :class:`Tracer` — records everything;
+* :class:`NoopTracer` (module singleton :data:`NOOP_TRACER`) — the
+  default wired through the optimizer and engine.  Its ``span()``
+  returns one shared, reusable context manager and allocates nothing,
+  so instrumented hot paths pay a single method call when tracing is
+  off.  Hot loops that want even that gone can branch on
+  ``tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.obs.clock import monotonic
+
+
+@dataclass
+class Span:
+    """One named interval in the trace tree.
+
+    Args:
+        name: operation name, e.g. ``"optimize.iteration"``.
+        span_id: id unique within the owning tracer.
+        parent_id: id of the enclosing span, or None for roots.
+        start: monotonic start time.
+        end: monotonic end time (None while the span is open).
+        attributes: arbitrary JSON-serializable key/value details.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes: object) -> None:
+        """Attach attributes to the span."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (one JSONL line per span)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NoopSpan:
+    """Inert span handed out by the no-op tracer."""
+
+    __slots__ = ()
+
+    name = ""
+    span_id = -1
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    attributes: dict[str, object] = {}
+
+    def set(self, **attributes: object) -> None:
+        """Discard attributes."""
+
+
+class _NoopSpanContext:
+    """Shared, allocation-free context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+_NOOP_SPAN_CONTEXT = _NoopSpanContext()
+
+
+class _SpanContext:
+    """Context manager opening one real span on entry."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, attributes: dict[str, object]
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", True)
+        self._tracer._close(self._span)
+        return None
+
+
+@dataclass
+class HistogramStats:
+    """Streaming summary of one observed value series."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def as_dict(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class Tracer:
+    """Recording tracer: span tree, counters, histograms.
+
+    Args:
+        clock: monotonic time source (injectable for deterministic
+            tests); defaults to :func:`repro.obs.clock.monotonic`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=monotonic) -> None:
+        self._clock = clock
+        self._next_id = 0
+        self._stack: list[Span] = []
+        #: Finished and open spans, in start order.
+        self.spans: list[Span] = []
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, HistogramStats] = {}
+
+    # -- spans -------------------------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> _SpanContext:
+        """Open a child span of the current span for a ``with`` block."""
+        return _SpanContext(self, name, attributes)
+
+    def _open(self, name: str, attributes: dict[str, object]) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent,
+            start=self._clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        self.spans.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # pragma: no cover - misuse guard
+            self._stack = [s for s in self._stack if s is not span]
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def root_spans(self) -> list[Span]:
+        return [span for span in self.spans if span.parent_id is None]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    # -- counters / histograms ---------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Increment a flat counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into a histogram."""
+        stats = self.histograms.get(name)
+        if stats is None:
+            stats = self.histograms[name] = HistogramStats()
+        stats.add(value)
+
+    # -- export ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Flat dict of every counter and histogram statistic."""
+        snapshot: dict[str, float] = dict(self.counters)
+        for name, stats in self.histograms.items():
+            for key, value in stats.as_dict().items():
+                snapshot[f"{name}.{key}"] = value
+        snapshot["spans"] = len(self.spans)
+        return snapshot
+
+    def to_jsonl_lines(self) -> Iterator[str]:
+        """One compact JSON object per span, parents before children."""
+        for span in self.spans:
+            yield json.dumps(span.to_dict(), sort_keys=True)
+
+    def render_tree(self) -> str:
+        """ASCII span tree with durations and attributes."""
+        from repro.obs.export import render_span_tree
+
+        return render_span_tree(self.spans)
+
+    def clear(self) -> None:
+        """Drop all recorded spans, counters, and histograms."""
+        self._stack.clear()
+        self.spans.clear()
+        self.counters.clear()
+        self.histograms.clear()
+        self._next_id = 0
+
+
+class NoopTracer(Tracer):
+    """Disabled tracer: records nothing, allocates nothing per span."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: object) -> _NoopSpanContext:  # type: ignore[override]
+        return _NOOP_SPAN_CONTEXT
+
+    def count(self, name: str, value: float = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+
+#: Shared disabled tracer — the default for every instrumented layer.
+NOOP_TRACER = NoopTracer()

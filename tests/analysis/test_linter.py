@@ -208,6 +208,68 @@ class TestBareGeneric:
         assert "CL206" not in rules_fired(diagnostics)
 
 
+class TestWallClock:
+    def test_flags_time_time(self):
+        diagnostics = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        [d] = [d for d in diagnostics if d.rule == "CL207"]
+        assert "wall-clock" in d.message
+        assert "monotonic" in d.hint
+
+    def test_flags_bare_time_import(self):
+        diagnostics = lint(
+            """
+            from time import time
+
+            def stamp():
+                return time()
+            """
+        )
+        assert "CL207" in rules_fired(diagnostics)
+
+    def test_perf_counter_clean(self):
+        diagnostics = lint(
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """
+        )
+        assert "CL207" not in rules_fired(diagnostics)
+
+    def test_unrelated_time_call_clean(self):
+        # A local function named time() without the bare import.
+        diagnostics = lint(
+            """
+            def time():
+                return 0.0
+
+            def stamp():
+                return time()
+            """
+        )
+        assert "CL207" not in rules_fired(diagnostics)
+
+    def test_rule_scoped_to_repro(self):
+        diagnostics = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            path="benchmarks/conftest.py",
+        )
+        assert "CL207" not in rules_fired(diagnostics)
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self):
         diagnostics = lint_source("def broken(:\n", "repro/x.py")

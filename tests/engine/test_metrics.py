@@ -55,3 +55,51 @@ class TestMerge:
         b.per_query_bytes["q2"] = 20
         merged = a.merged_with(b)
         assert merged.per_query_bytes == {"q1": 10, "q2": 20}
+
+    def test_merged_with_sums_same_per_query_key(self):
+        # Regression: a shared key used to be clobbered by the right side.
+        a = ExecutionMetrics()
+        a.per_query_bytes["q1"] = 10
+        b = ExecutionMetrics()
+        b.per_query_bytes["q1"] = 7
+        b.per_query_bytes["q2"] = 5
+        merged = a.merged_with(b)
+        assert merged.per_query_bytes == {"q1": 17, "q2": 5}
+        # Originals untouched.
+        assert a.per_query_bytes == {"q1": 10}
+        assert b.per_query_bytes == {"q1": 7, "q2": 5}
+
+
+class TestSnapshots:
+    def test_as_dict_has_all_counters_and_work(self):
+        metrics = ExecutionMetrics()
+        metrics.record_scan(10, 100)
+        metrics.record_materialize(4, 40)
+        metrics.record_group_by()
+        snapshot = metrics.as_dict()
+        for name in ExecutionMetrics.COUNTER_FIELDS:
+            assert name in snapshot
+        assert snapshot["bytes_scanned"] == 100
+        assert snapshot["bytes_materialized"] == 40
+        assert snapshot["work"] == 140
+        assert "per_query_bytes" not in snapshot
+
+    def test_as_dict_per_query_copies(self):
+        metrics = ExecutionMetrics()
+        metrics.per_query_bytes["q1"] = 9
+        snapshot = metrics.as_dict(per_query=True)
+        assert snapshot["per_query_bytes"] == {"q1": 9}
+        snapshot["per_query_bytes"]["q1"] = 0
+        assert metrics.per_query_bytes["q1"] == 9
+
+    def test_diff_reports_deltas(self):
+        before = ExecutionMetrics()
+        before.record_scan(5, 50)
+        after = ExecutionMetrics()
+        after.record_scan(8, 80)
+        after.record_materialize(2, 20)
+        delta = after.diff(before)
+        assert delta["rows_scanned"] == 3
+        assert delta["bytes_scanned"] == 30
+        assert delta["bytes_materialized"] == 20
+        assert delta["work"] == 50

@@ -88,3 +88,35 @@ class TestHarness:
         queries = single_column_queries(("l_returnflag", "l_linestatus"))
         comparison = run_comparison(session, queries)
         assert comparison.execution.results == {}
+
+    def test_trace_summary_combines_search_and_execution(
+        self, comparison_setup
+    ):
+        comparison, _ = comparison_setup
+        summary = comparison.trace_summary()
+        telemetry = comparison.optimization.telemetry
+        assert summary["n_queries"] == comparison.n_queries
+        assert (
+            summary["search.merges_accepted"] == telemetry.merges_accepted
+        )
+        assert "search.best_cost_trajectory" not in summary
+        assert summary["execution.work"] == comparison.plan_work
+
+    def test_trace_note_is_one_line(self, comparison_setup):
+        from repro.experiments.harness import trace_note
+
+        comparison, _ = comparison_setup
+        note = trace_note(comparison)
+        assert "\n" not in note
+        assert note.startswith("trace:")
+        assert "cost-model calls" in note
+
+    def test_aggregate_trace_note_sums_runs(self, comparison_setup):
+        from repro.experiments.harness import aggregate_trace_note
+
+        comparison, _ = comparison_setup
+        note = aggregate_trace_note([comparison, comparison])
+        assert note.startswith("trace: 2 runs")
+        telemetry = comparison.optimization.telemetry
+        assert f"{2 * telemetry.merges_accepted} merges accepted" in note
+        assert aggregate_trace_note([]) == "trace: no runs"

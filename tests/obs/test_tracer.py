@@ -1,0 +1,167 @@
+"""Unit tests for the span tracer: nesting, no-op mode, export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NOOP_TRACER,
+    ManualClock,
+    NoopTracer,
+    Tracer,
+    read_jsonl,
+    render_span_tree,
+    spans_from_dicts,
+    write_jsonl,
+)
+
+
+class TestSpans:
+    def test_nested_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        outer, inner, leaf, sibling = tracer.spans
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        assert sibling.parent_id == outer.span_id
+        assert tracer.root_spans() == [outer]
+        assert tracer.children_of(outer) == [inner, sibling]
+
+    def test_durations_from_injected_clock(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.25)
+            clock.advance(1.0)
+        outer, inner = tracer.spans
+        assert outer.duration == pytest.approx(2.25)
+        assert inner.duration == pytest.approx(0.25)
+        assert outer.start <= inner.start <= inner.end <= outer.end
+
+    def test_attributes_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("step", phase="scan") as span:
+            span.set(rows=42)
+        [recorded] = tracer.spans
+        assert recorded.attributes == {"phase": "scan", "rows": 42}
+
+    def test_exception_marks_span_and_closes_it(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        [span] = tracer.spans
+        assert span.attributes["error"] is True
+        assert span.end is not None
+        assert tracer.current_span is None
+
+    def test_current_span_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span is outer
+        assert tracer.current_span is None
+
+
+class TestCountersAndHistograms:
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.count("calls")
+        tracer.count("calls", 2)
+        assert tracer.counters["calls"] == 3
+
+    def test_histograms_summarize(self):
+        tracer = Tracer()
+        for value in (1.0, 3.0, 2.0):
+            tracer.observe("cost", value)
+        snapshot = tracer.metrics_snapshot()
+        assert snapshot["cost.count"] == 3
+        assert snapshot["cost.min"] == 1.0
+        assert snapshot["cost.max"] == 3.0
+        assert snapshot["cost.mean"] == pytest.approx(2.0)
+        assert snapshot["spans"] == 0
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.count("c")
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.counters == {}
+        assert tracer.metrics_snapshot()["spans"] == 0
+
+
+class TestNoopTracer:
+    def test_disabled_adds_no_spans(self):
+        tracer = NoopTracer()
+        with tracer.span("outer", key="value") as span:
+            span.set(more=1)
+            tracer.count("calls")
+            tracer.observe("cost", 5.0)
+        assert tracer.spans == []
+        assert tracer.counters == {}
+        assert tracer.histograms == {}
+        assert tracer.enabled is False
+
+    def test_shared_singleton_context(self):
+        # The no-op span() allocates nothing: one shared context object.
+        assert NOOP_TRACER.span("a") is NOOP_TRACER.span("b")
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            with NOOP_TRACER.span("x"):
+                raise ValueError("x")
+
+
+class TestJsonlRoundTrip:
+    def _traced(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("root", source="test"):
+            clock.advance(1.0)
+            with tracer.span("child") as span:
+                span.set(rows=7, label="(a,b)")
+                clock.advance(0.5)
+        return tracer
+
+    def test_round_trips_line_by_line(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(tracer, path) == 2
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert records == read_jsonl(path)
+        assert [r["name"] for r in records] == ["root", "child"]
+        assert records[1]["attributes"] == {"rows": 7, "label": "(a,b)"}
+        # Parents come before children, so ids resolve on one pass.
+        seen = set()
+        for record in records:
+            assert record["parent_id"] is None or record["parent_id"] in seen
+            seen.add(record["span_id"])
+
+    def test_tree_rerenders_from_records(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, path)
+        rebuilt = spans_from_dicts(read_jsonl(path))
+        assert render_span_tree(rebuilt) == render_span_tree(tracer.spans)
+        assert "root" in render_span_tree(rebuilt)
+
+    def test_to_jsonl_lines_matches_file(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, path)
+        assert list(tracer.to_jsonl_lines()) == [
+            line for line in path.read_text().splitlines() if line
+        ]

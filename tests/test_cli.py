@@ -136,6 +136,94 @@ class TestSql:
         assert "strategy: direct" in out
 
 
+class TestExplain:
+    def test_static_explain_on_csv(self, csv_path, capsys):
+        code = main(
+            [
+                "explain", csv_path,
+                "--queries", "region;state;region,state",
+                "--statistics", "exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- EXPLAIN --" in out
+        assert "estimated cost" in out
+        assert "search:" in out
+        assert "merges accepted" in out
+
+    def test_analyze_reports_actuals_and_q_error(self, csv_path, capsys):
+        code = main(
+            ["explain", csv_path, "--analyze", "--statistics", "exact"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "actual rows=" in out
+        assert "q-error" in out
+        assert "totals:" in out
+
+    def test_builtin_workload_source(self, capsys):
+        code = main(
+            ["explain", "--workload", "sales", "--rows", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sales" in out
+
+    def test_requires_a_source(self, capsys):
+        assert main(["explain"]) == 2
+        assert "--workload" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_renders_span_tree(self, csv_path, capsys):
+        code = main(["trace", csv_path, "--statistics", "exact"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace" in out
+        assert "optimize" in out
+        assert "execute.plan" in out
+        assert "search:" in out
+
+    def test_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--out", str(out_path),
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "metrics snapshot" in stdout
+        assert f"spans to {out_path}" in stdout
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+            if line
+        ]
+        assert records
+        # Exactly one root span, covering both optimize and execute.
+        roots = [r for r in records if r["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["trace"]
+        children = {
+            r["name"]
+            for r in records
+            if r["parent_id"] == roots[0]["span_id"]
+        }
+        assert children == {"optimize", "execute.plan"}
+
+    def test_requires_a_source(self, capsys):
+        assert main(["trace"]) == 2
+        assert "--workload" in capsys.readouterr().err
+
+
 class TestErrorHandling:
     def test_missing_file(self, capsys):
         assert main(["profile", "/nonexistent/x.csv"]) == 2
