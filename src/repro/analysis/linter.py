@@ -19,7 +19,9 @@ to apply (empty scope = every file).  The catalog:
   (quadratic scans);
 * ``CL206`` un-parameterized builtin generics in ``core`` annotations;
 * ``CL207`` wall-clock ``time.time()`` calls (timings must use the
-  monotonic clock helper in ``repro.obs.clock``).
+  monotonic clock helper in ``repro.obs.clock``);
+* ``CL208`` ``to_rows()``/``iter_rows()`` calls in engine hot-path
+  modules (row materialization defeats the columnar kernels).
 """
 
 from __future__ import annotations
@@ -398,6 +400,48 @@ def check_wall_clock(tree: ast.Module) -> Iterator[Finding]:
                 node.lineno,
                 "time() (from time import time) is wall-clock",
                 hint,
+            )
+
+
+#: Engine modules that must stay columnar end to end.  ``table`` itself
+#: (which defines the row-conversion methods) and the I/O boundary
+#: (``csv_io``) are deliberately out of scope.
+_HOT_PATH_MODULES = (
+    "repro/engine/aggregation",
+    "repro/engine/executor",
+    "repro/engine/indexes",
+    "repro/engine/join",
+    "repro/engine/grouping_sets",
+    "repro/engine/multi_aggregate",
+    "repro/engine/partitioned_cube",
+    "repro/engine/pipesort",
+    "repro/engine/expressions",
+    "repro/engine/dictcache",
+)
+
+#: Row-materializing Table methods banned from hot paths.
+_ROW_METHODS = frozenset({"to_rows", "iter_rows"})
+
+
+@code_rule(
+    "CL208",
+    "row-materialization-in-hot-path",
+    "to_rows()/iter_rows() in an engine hot path abandons columnar "
+    "execution",
+    scope=_HOT_PATH_MODULES,
+)
+def check_row_materialization(tree: ast.Module) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _ROW_METHODS:
+            yield (
+                node.lineno,
+                f"{func.attr}() materializes Python row tuples in an "
+                "engine hot path",
+                "operate on columns (table[name]) or dictionary codes; "
+                "row conversion belongs at the I/O boundary",
             )
 
 

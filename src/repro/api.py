@@ -210,18 +210,27 @@ class Session:
         schedule: str = "storage",
         aggregates: list[AggregateSpec] | None = None,
         tracer: Tracer | None = None,
+        parallelism: int = 1,
     ) -> ExecutionResult:
         """Execute a logical plan.
 
         Args:
             plan: the plan to run.
             schedule: 'storage' follows the Section 4.4.1 BF/DF marking;
-                'depth_first' uses plain pre-order.
+                'depth_first' uses plain pre-order.  Ignored when
+                ``parallelism >= 2``: the parallel executor derives its
+                own wavefront schedule from the plan.
             aggregates: aggregate list (COUNT(*) by default).
             tracer: span tracer for this run only (defaults to the
                 session tracer).
+            parallelism: worker threads for wavefront execution; 1 runs
+                the linear schedule serially.  Parallel runs produce
+                bit-identical results and equal metrics totals.
         """
-        if schedule == "storage":
+        steps: list | None
+        if parallelism > 1:
+            steps = None
+        elif schedule == "storage":
             steps = storage_minimizing_schedule(
                 plan, estimator_size_fn(self.estimator)
             )
@@ -235,6 +244,7 @@ class Session:
             aggregates=aggregates,
             use_indexes=self.use_indexes,
             tracer=tracer or self.tracer,
+            parallelism=parallelism,
         )
         return executor.execute(plan, steps)
 
@@ -263,7 +273,12 @@ class Session:
 
         return explain_plan(plan, self.coster(), self.estimator)
 
-    def explain_analyze(self, plan: LogicalPlan, schedule: str = "storage"):
+    def explain_analyze(
+        self,
+        plan: LogicalPlan,
+        schedule: str = "storage",
+        parallelism: int = 1,
+    ):
         """EXPLAIN ANALYZE: execute the plan instrumented and report
         estimated vs actual rows/bytes/time and q-error per node.
 
@@ -273,7 +288,9 @@ class Session:
         """
         from repro.obs.analyze import explain_analyze
 
-        return explain_analyze(self, plan, schedule=schedule)
+        return explain_analyze(
+            self, plan, schedule=schedule, parallelism=parallelism
+        )
 
     def run_with_aggregates(self, queries, options=None):
         """Optimize and execute a workload with per-query aggregates.

@@ -209,7 +209,11 @@ def cmd_explain(args) -> int:
         print(f"search: {result.telemetry.summary()}")
     if args.analyze:
         print("\n-- EXPLAIN ANALYZE --")
-        print(session.explain_analyze(result.plan).render())
+        print(
+            session.explain_analyze(
+                result.plan, parallelism=args.parallelism
+            ).render()
+        )
     else:
         print("\n-- EXPLAIN --")
         print(session.explain(result.plan).render())
@@ -226,7 +230,9 @@ def cmd_trace(args) -> int:
     # exported tree has a single top-level entry covering both phases.
     with tracer.span("trace", source=str(source), queries=len(queries)):
         result = session.optimize(queries)
-        execution = session.execute(result.plan)
+        execution = session.execute(
+            result.plan, parallelism=args.parallelism
+        )
     print(render_span_tree(tracer.spans))
     if result.telemetry is not None:
         print(f"\nsearch: {result.telemetry.summary()}")
@@ -445,6 +451,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--max-rows", type=int, default=None, help="row cap when loading"
+        )
+        p.add_argument(
+            "--parallelism",
+            type=int,
+            default=1,
+            help="worker threads for wavefront plan execution (default 1)",
         )
 
     explain = sub.add_parser(

@@ -18,13 +18,16 @@ computed from a materialized ancestor instead of the base relation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.table import Table
 from repro.engine.types import SchemaError, null_mask
+
+if TYPE_CHECKING:  # import cycle guard: dictcache's kernels back Table
+    from repro.engine.dictcache import DictionaryCache
 
 #: Aggregate functions understood by the engine.
 SUPPORTED_FUNCS = ("count", "count_col", "sum", "min", "max", "avg")
@@ -148,8 +151,19 @@ class GroupStructure:
         )
 
 
+def _column_codes(
+    table: Table, key: str, dictionaries: "DictionaryCache | None"
+) -> tuple[np.ndarray, np.ndarray]:
+    """One column's dictionary, through the plan-wide cache when given."""
+    if dictionaries is not None:
+        return dictionaries.codes(table, key)
+    return table.dictionary(key)
+
+
 def _combined_codes(
-    table: Table, keys: Sequence[str]
+    table: Table,
+    keys: Sequence[str],
+    dictionaries: "DictionaryCache | None" = None,
 ) -> tuple[np.ndarray, int, dict[str, tuple[int, int]] | None]:
     """Combine per-column dictionary codes into one int64 composite key.
 
@@ -165,7 +179,7 @@ def _combined_codes(
     cards: list[int] = []
     compressed = False
     for key in keys:
-        codes, uniques = table.dictionary(key)
+        codes, uniques = _column_codes(table, key, dictionaries)
         card = max(len(uniques), 1)
         if radix > (2**62) // card:
             # Compress the running composite key and keep combining.
@@ -188,42 +202,81 @@ def _combined_codes(
     return combined, radix, layout
 
 
+def _dense_group_ids(
+    combined: np.ndarray, radix: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused O(n) grouping over a small composite-code domain.
+
+    One ``bincount`` pass replaces the sort ``np.unique`` would run:
+    occupied codes are ranked into dense group ids, and first-occurrence
+    indices are recovered with a reverse-order scatter (the last write
+    wins, so writing rows in reverse leaves the first occurrence).
+
+    Returns:
+        (ids, first, counts) — bit-identical to the ``np.unique``
+        equivalents, since group numbering follows sorted code order
+        either way.
+    """
+    counts_all = np.bincount(combined, minlength=radix)
+    occupied = np.flatnonzero(counts_all)
+    lookup = np.empty(radix, dtype=np.int64)
+    lookup[occupied] = np.arange(len(occupied), dtype=np.int64)
+    ids = lookup[combined]
+    first = np.empty(len(occupied), dtype=np.int64)
+    first[ids[::-1]] = np.arange(len(combined) - 1, -1, -1, dtype=np.int64)
+    return ids, first, counts_all[occupied]
+
+
 def combined_group_codes(
-    table: Table, keys: Sequence[str]
+    table: Table,
+    keys: Sequence[str],
+    dictionaries: "DictionaryCache | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Assign each row a group id over the composite key ``keys``.
 
     Returns:
         (group_ids, first_row_index_per_group, n_groups).  Provided for
         callers that need explicit ids (e.g. tests); ``group_by`` itself
-        uses the cheaper :class:`GroupStructure` representations.
+        uses the cheaper :class:`GroupStructure` representations.  When
+        the composite cardinality product fits comfortably in the
+        bincount budget the final ``np.unique`` is skipped entirely in
+        favour of the fused O(n) ranking pass.
     """
     if not keys:
         n = table.num_rows
         ids = np.zeros(n, dtype=np.int64)
         first = np.zeros(1 if n else 0, dtype=np.int64)
         return ids, first, 1 if n else 0
-    combined, _radix, _ = _combined_codes(table, keys)
+    combined, radix, layout = _combined_codes(table, keys, dictionaries)
+    if layout is not None and radix <= BINCOUNT_LIMIT and len(combined):
+        ids, first, _counts = _dense_group_ids(combined, radix)
+        return ids, first, len(first)
     _, first, inverse = np.unique(
         combined, return_index=True, return_inverse=True
     )
     return inverse.astype(np.int64, copy=False), first, len(first)
 
 
-def _hash_group(table: Table, keys: Sequence[str]) -> GroupStructure:
+def _hash_group(
+    table: Table,
+    keys: Sequence[str],
+    dictionaries: "DictionaryCache | None" = None,
+) -> GroupStructure:
     """Grouping over dictionary codes, in two regimes.
 
     Small composite domains use one ``bincount`` pass (the cheap
     hash-table regime of a real aggregation operator).  Large domains
     sort the composite codes and *decode* the group keys from the
     dictionaries — the sort-aggregation regime — which never gathers
-    representative rows.
+    representative rows.  Per-column codes come through ``dictionaries``
+    (the plan-wide cache) when one is threaded in, so repeated plan
+    nodes never re-factorize a shared column.
     """
     n = table.num_rows
     if n == 0:
         empty = np.zeros(0, dtype=np.int64)
         return GroupStructure(0, empty, lambda: empty, first=empty)
-    combined, radix, layout = _combined_codes(table, keys)
+    combined, radix, layout = _combined_codes(table, keys, dictionaries)
     if layout is None:
         # Compressed composite key: group via one int64 unique and keep
         # representative rows (keys cannot be decoded by arithmetic).
@@ -237,6 +290,14 @@ def _hash_group(table: Table, keys: Sequence[str]) -> GroupStructure:
         occupied = np.flatnonzero(counts_all)
         counts = counts_all[occupied]
         group_codes = occupied
+
+        def make_ids() -> np.ndarray:
+            # O(n) rank scatter; identical to searchsorted over the
+            # sorted occupied codes, without the log factor.
+            lookup = np.empty(radix, dtype=np.int64)
+            lookup[occupied] = np.arange(len(occupied), dtype=np.int64)
+            return lookup[combined]
+
     else:
         # Sort regime: one np.sort plus boundary detection.
         ordered = np.sort(combined)
@@ -246,6 +307,9 @@ def _hash_group(table: Table, keys: Sequence[str]) -> GroupStructure:
         group_codes = ordered[boundary]
         positions = np.flatnonzero(boundary)
         counts = np.diff(np.append(positions, len(ordered)))
+
+        def make_ids() -> np.ndarray:
+            return np.searchsorted(group_codes, combined)
 
     def parent_codes_of(key: str) -> np.ndarray:
         stride, card = layout[key]
@@ -258,7 +322,7 @@ def _hash_group(table: Table, keys: Sequence[str]) -> GroupStructure:
     structure = GroupStructure(
         len(group_codes),
         counts,
-        lambda: np.searchsorted(group_codes, combined),
+        make_ids,
         key_decoder=decode,
     )
     structure._group_parent_codes = parent_codes_of
@@ -339,6 +403,7 @@ def group_by(
     name: str | None = None,
     metrics: ExecutionMetrics | None = None,
     assume_sorted: bool = False,
+    dictionaries: "DictionaryCache | None" = None,
 ) -> Table:
     """Execute ``SELECT keys, aggs FROM table GROUP BY keys``.
 
@@ -350,6 +415,9 @@ def group_by(
         metrics: execution counters to update (scan + group-by).
         assume_sorted: use the boundary-detection fast path; the caller
             guarantees the table is sorted on ``keys``.
+        dictionaries: plan-wide :class:`~repro.engine.dictcache.
+            DictionaryCache`; when given, key columns are factorized at
+            most once per plan execution across all Group By nodes.
 
     Returns:
         A table with the key columns followed by one column per aggregate.
@@ -369,7 +437,7 @@ def group_by(
         first = np.zeros(1 if n else 0, dtype=np.int64)
         structure = GroupStructure(1 if n else 0, None, lambda: zeros, first=first)
     else:
-        structure = _hash_group(table, keys)
+        structure = _hash_group(table, keys, dictionaries)
     columns: dict[str, np.ndarray] = {}
     for key in keys:
         columns[key] = structure.key_column(table, key)
@@ -392,7 +460,7 @@ def group_by(
     for key in keys:
         derived = structure.key_dictionary(table, key)
         if derived is not None:
-            result._dictionaries[key] = derived
+            result.set_dictionary(key, *derived)
     return result
 
 

@@ -9,6 +9,7 @@ breadth-first / depth-first sequencing actually minimizes peak storage.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 from repro.engine.indexes import Index, IndexSpec
@@ -27,6 +28,9 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._temp_names: set[str] = set()
         self._indexes: dict[str, list[Index]] = {}
+        # Guards temp registration and the storage meter: the parallel
+        # wavefront executor materializes temps from worker threads.
+        self._temp_lock = threading.Lock()
         self.current_temp_bytes = 0
         self.peak_temp_bytes = 0
         self.total_temp_bytes_written = 0
@@ -67,23 +71,27 @@ class Catalog:
 
     def materialize_temp(self, table: Table) -> Table:
         """Store a temporary table, charging its size against the meter."""
-        if table.name in self._tables:
-            raise CatalogError(f"table {table.name!r} already exists")
-        self._tables[table.name] = table
-        self._temp_names.add(table.name)
         size = table.size_bytes()
-        self.current_temp_bytes += size
-        self.total_temp_bytes_written += size
-        self.peak_temp_bytes = max(self.peak_temp_bytes, self.current_temp_bytes)
+        with self._temp_lock:
+            if table.name in self._tables:
+                raise CatalogError(f"table {table.name!r} already exists")
+            self._tables[table.name] = table
+            self._temp_names.add(table.name)
+            self.current_temp_bytes += size
+            self.total_temp_bytes_written += size
+            self.peak_temp_bytes = max(
+                self.peak_temp_bytes, self.current_temp_bytes
+            )
         return table
 
     def drop_temp(self, name: str) -> None:
         """Drop a temporary table, releasing its metered storage."""
-        if name not in self._temp_names:
-            raise CatalogError(f"{name!r} is not a temporary table")
-        table = self._tables.pop(name)
-        self._temp_names.discard(name)
-        self.current_temp_bytes -= table.size_bytes()
+        with self._temp_lock:
+            if name not in self._temp_names:
+                raise CatalogError(f"{name!r} is not a temporary table")
+            table = self._tables.pop(name)
+            self._temp_names.discard(name)
+            self.current_temp_bytes -= table.size_bytes()
 
     def drop_all_temps(self) -> None:
         for name in list(self._temp_names):

@@ -1,0 +1,150 @@
+"""Shared dictionary encoding: O(n) factorize kernels and a plan-wide cache.
+
+The GB-MQO premise is that the N queries of a workload share work, and the
+most-shared work of all is turning raw key columns into dense dictionary
+codes.  Before this module existed, every Group By node re-factorized its
+key columns with sort-based ``np.unique`` (O(n log n) with a large
+constant); now:
+
+* :func:`encode_column` is the one factorize kernel the engine uses.  For
+  integer columns whose value range is dense relative to the row count it
+  runs in O(n) — one ``min``/``max`` pass, one boolean-presence scatter,
+  one rank gather — and produces output *bit-identical* to
+  ``np.unique(..., return_inverse=True)`` (codes follow the sorted order
+  of the distinct values).  Strings, floats, and wide-range integers fall
+  back to the sort-based path.
+* :func:`legacy_encode` is the pre-existing sort-based kernel, kept as the
+  reference implementation (tests pin ``encode_column`` against it) and
+  as the baseline of ``benchmarks/bench_kernels.py``.
+* :class:`DictionaryCache` is the plan-wide cache the executor threads
+  through every Group By: each (table, column) pair is factorized at most
+  once per plan execution, even when many plan nodes touch the same base
+  column and even when nodes run concurrently on the parallel wavefront
+  executor (per-key locks make the encode happen exactly once).
+
+A materialized ancestor's key codes are also reused: ``group_by`` attaches
+derived dictionaries to its result's key columns (see
+``GroupStructure.key_dictionary``), so a descendant's encode is a cache
+hit rather than a fresh ``np.unique`` over raw values.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # import cycle guard: Table.dictionary uses our kernels
+    from repro.engine.table import Table
+
+#: Widest dense integer range the O(n) fast path will allocate lookup
+#: tables for, as a multiple of the row count.  Beyond it the scatter
+#: tables would dominate the sort they replace.
+DENSE_RANGE_SLACK = 4
+
+#: Absolute floor for the dense-range budget, so tiny tables with a
+#: moderately wide domain (e.g. 100 rows over [0, 1000)) still take the
+#: O(n + range) path instead of a sort.
+DENSE_RANGE_FLOOR = 1 << 16
+
+#: Hard cap on the dense-range table size, independent of row count.
+DENSE_RANGE_LIMIT = 1 << 26
+
+
+def legacy_encode(array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sort-based factorize: (codes, distinct_values) via ``np.unique``.
+
+    The pre-cache kernel, retained as the reference implementation and
+    the fallback for dtypes the dense-range path cannot handle.
+    """
+    uniques, inverse = np.unique(array, return_inverse=True)
+    return inverse.astype(np.int64, copy=False), uniques
+
+
+def _dense_range_budget(n_rows: int) -> int:
+    return min(max(DENSE_RANGE_SLACK * n_rows, DENSE_RANGE_FLOOR), DENSE_RANGE_LIMIT)
+
+
+def encode_column(array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Factorize one column into dense codes: (codes, distinct_values).
+
+    Codes follow the sorted order of the distinct values — identical to
+    :func:`legacy_encode` — so the two kernels are interchangeable and
+    downstream composite-code arithmetic is unaffected by which one ran.
+
+    Integer columns whose value span ``max - min + 1`` fits the dense
+    budget take the O(n) path.  A column containing the ``INT_NULL``
+    sentinel (``int64`` min) has an astronomically wide span and thus
+    falls back to the sort path automatically — no special-casing.
+    """
+    if len(array) and np.issubdtype(array.dtype, np.integer):
+        lo = int(array.min())
+        hi = int(array.max())
+        # Span computed in python ints: immune to int64 overflow when
+        # the column holds INT_NULL alongside large positives.
+        span = hi - lo + 1
+        if span <= _dense_range_budget(len(array)):
+            shifted = (array - lo).astype(np.int64, copy=False)
+            present = np.zeros(span, dtype=bool)
+            present[shifted] = True
+            # rank[v] = number of distinct values <= v, minus one: the
+            # dense code of value v in sorted-distinct order.
+            rank = np.cumsum(present, dtype=np.int64)
+            rank -= 1
+            codes = rank[shifted]
+            uniques = (np.flatnonzero(present) + lo).astype(
+                array.dtype, copy=False
+            )
+            return codes, uniques
+    return legacy_encode(array)
+
+
+class DictionaryCache:
+    """Plan-wide dictionary cache: each column factorized at most once.
+
+    The executor creates one per plan execution (or accepts a shared one
+    for serving workloads) and passes it into every Group By.  Lookups
+    first consult the table's own attached dictionaries — which is how a
+    materialized ancestor's derived key codes get reused — then fall
+    back to encoding, guarded by a per-(table, column) lock so
+    concurrent wavefront workers never duplicate the encode work.
+
+    Attributes:
+        hits: lookups served without factorizing.
+        misses: lookups that had to factorize the column.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._key_locks: dict[tuple[int, str], threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def codes(self, table: Table, column: str) -> tuple[np.ndarray, np.ndarray]:
+        """Dense codes and distinct values for ``table[column]``."""
+        cached = table.cached_dictionary(column)
+        if cached is not None:
+            with self._lock:
+                self.hits += 1
+            return cached
+        key = (id(table), column)
+        with self._lock:
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            # Double-check under the key lock: another worker may have
+            # encoded this column while we waited.
+            cached = table.cached_dictionary(column)
+            if cached is not None:
+                with self._lock:
+                    self.hits += 1
+                return cached
+            encoded = table.dictionary(column)
+            with self._lock:
+                self.misses += 1
+            return encoded
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the hit/miss counters (for spans and benchmarks)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}

@@ -6,6 +6,24 @@ BY v`` for intermediate nodes, streaming for leaves — re-aggregating
 with SUM(cnt) whenever the source is a materialized intermediate rather
 than the base relation, and dropping temporary tables per the schedule.
 
+Execution comes in two modes:
+
+* **serial** (the default): a linear schedule of compute/drop steps,
+  exactly the paper's client-side script.
+* **parallel wavefront** (``PlanExecutor(parallelism=k)``): the plan's
+  dependency graph is cut into waves (:func:`repro.core.scheduling.
+  wavefront_schedule`); steps within a wave share no dependencies and
+  run on a thread pool (numpy releases the GIL inside the reductions).
+  Results are bit-identical to serial execution and the merged
+  :class:`ExecutionMetrics` totals are equal — each step aggregates
+  into its own metrics object, folded back in deterministic schedule
+  order.
+
+Either way, one plan-wide
+:class:`~repro.engine.dictcache.DictionaryCache` is threaded through
+every Group By, so each base-relation column is factorized at most once
+per plan execution no matter how many nodes touch it.
+
 CUBE and ROLLUP nodes (Section 7.1) execute exactly the strategy their
 cost model assumes: the full Group By is computed from the node's
 parent, and every other covered grouping is computed from that result.
@@ -13,17 +31,19 @@ parent, and every other covered grouping is computed from that result.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.plan import LogicalPlan, NodeKind, PlanNode
-from repro.core.scheduling import Step, depth_first_schedule
+from repro.core.scheduling import Step, depth_first_schedule, wavefront_schedule
 from repro.engine.aggregation import AggregateSpec, group_by, reaggregate_specs
 from repro.engine.catalog import Catalog
+from repro.engine.dictcache import DictionaryCache
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.table import Table
 from repro.engine.types import EngineError
 from repro.obs.clock import monotonic
-from repro.obs.tracer import NOOP_TRACER, Tracer
+from repro.obs.tracer import NOOP_TRACER, Span, Tracer
 
 
 class ExecutionError(EngineError):
@@ -65,9 +85,18 @@ class PlanExecutor:
             when one exists and is narrower than the referenced columns.
         tracer: span tracer; when enabled, the run is wrapped in an
             ``execute.plan`` span with one ``execute.node`` child per
-            compute step carrying actual rows/bytes.  Tracing is
+            compute step carrying actual rows/bytes (grouped under
+            ``execute.wave`` spans in parallel mode).  Tracing is
             read-only: results and deterministic counters are identical
             with it on or off.
+        parallelism: worker threads for wavefront execution.  1 (the
+            default) executes the given linear schedule serially; >= 2
+            executes the dependency-graph waves concurrently, producing
+            bit-identical tables and equal metrics totals.
+        dictionary_cache: a shared plan-wide dictionary cache.  By
+            default each ``execute`` call builds a fresh one; serving
+            workloads that re-execute plans over the same base relation
+            can pass one in to keep encodes warm across runs.
     """
 
     def __init__(
@@ -77,45 +106,60 @@ class PlanExecutor:
         aggregates: list[AggregateSpec] | None = None,
         use_indexes: bool = True,
         tracer: Tracer | None = None,
+        parallelism: int = 1,
+        dictionary_cache: DictionaryCache | None = None,
     ) -> None:
+        if parallelism < 1:
+            raise ExecutionError("parallelism must be >= 1")
         self._catalog = catalog
         self._base_table = base_table
         self._aggregates = aggregates or [AggregateSpec.count_star("cnt")]
         self._reaggregates = reaggregate_specs(self._aggregates)
         self._use_indexes = use_indexes
         self._tracer = tracer or NOOP_TRACER
+        self._parallelism = parallelism
+        self._dictionary_cache = dictionary_cache
 
     def execute(
         self, plan: LogicalPlan, steps: list[Step] | None = None
     ) -> ExecutionResult:
-        """Execute ``plan`` following ``steps`` (depth-first when None)."""
+        """Execute ``plan`` following ``steps`` (depth-first when None).
+
+        With ``parallelism >= 2`` the plan's wavefront schedule is used
+        and ``steps`` must be None — a caller-supplied linear order has
+        no meaning once independent steps run concurrently.
+        """
         if plan.relation != self._base_table:
             raise ExecutionError(
                 f"plan targets {plan.relation!r}, executor is bound to "
                 f"{self._base_table!r}"
             )
-        if steps is None:
+        parallel = self._parallelism > 1
+        if parallel and steps is not None:
+            raise ExecutionError(
+                "parallel execution schedules itself; pass steps=None"
+            )
+        if steps is None and not parallel:
             steps = depth_first_schedule(plan)
+        dictionaries = self._dictionary_cache or DictionaryCache()
         result = ExecutionResult()
         started = monotonic()
         peak_before = self._catalog.peak_temp_bytes
         current_before = self._catalog.current_temp_bytes
-        local_peak = current_before
         with self._tracer.span(
-            "execute.plan", relation=plan.relation, steps=len(steps)
+            "execute.plan",
+            relation=plan.relation,
+            steps=plan.node_count() if parallel else len(steps),
+            parallelism=self._parallelism,
         ) as plan_span:
             try:
-                for step in steps:
-                    if step.action == "compute":
-                        self._run_compute(step, result)
-                    elif step.action == "drop":
-                        self._catalog.drop_temp(temp_name_for(step.node))
-                    else:
-                        raise ExecutionError(
-                            f"unknown step action {step.action!r}"
-                        )
-                    local_peak = max(
-                        local_peak, self._catalog.current_temp_bytes
+                if parallel:
+                    local_peak = self._execute_wavefront(
+                        plan, result, dictionaries, current_before
+                    )
+                else:
+                    local_peak = self._execute_serial(
+                        steps, result, dictionaries, current_before
                     )
             finally:
                 # Leave no temporaries behind even on failure.
@@ -125,12 +169,96 @@ class PlanExecutor:
             plan_span.set(
                 work=result.metrics.work,
                 queries=result.metrics.queries_executed,
+                **{
+                    f"dictionary_{key}": value
+                    for key, value in dictionaries.stats().items()
+                },
             )
         result.wall_seconds = monotonic() - started
         result.peak_temp_bytes = local_peak - current_before
         # Keep the catalog's all-time peak meaningful across runs.
         self._catalog.peak_temp_bytes = max(peak_before, local_peak)
         return result
+
+    # -- execution modes -----------------------------------------------------------
+
+    def _execute_serial(
+        self,
+        steps: list[Step],
+        result: ExecutionResult,
+        dictionaries: DictionaryCache,
+        current_before: int,
+    ) -> int:
+        local_peak = current_before
+        for step in steps:
+            if step.action == "compute":
+                self._run_compute(step, result, dictionaries)
+            elif step.action == "drop":
+                self._catalog.drop_temp(temp_name_for(step.node))
+            else:
+                raise ExecutionError(f"unknown step action {step.action!r}")
+            local_peak = max(local_peak, self._catalog.current_temp_bytes)
+        return local_peak
+
+    def _execute_wavefront(
+        self,
+        plan: LogicalPlan,
+        result: ExecutionResult,
+        dictionaries: DictionaryCache,
+        current_before: int,
+    ) -> int:
+        """Run the dependency-graph schedule on a thread pool.
+
+        Each compute step aggregates into its own ``ExecutionMetrics``;
+        after every wave the per-step metrics fold into the result in
+        schedule order, so totals are deterministic and equal to a
+        serial run's regardless of thread interleaving.
+        """
+        local_peak = current_before
+        waves = wavefront_schedule(plan)
+        with ThreadPoolExecutor(
+            max_workers=self._parallelism,
+            thread_name_prefix="repro-wave",
+        ) as pool:
+            for wave in waves:
+                with self._tracer.span(
+                    "execute.wave", index=wave.index, nodes=len(wave.steps)
+                ) as wave_span:
+                    futures = [
+                        pool.submit(
+                            self._run_compute_isolated,
+                            step,
+                            result,
+                            dictionaries,
+                            wave_span,
+                        )
+                        for step in wave.steps
+                    ]
+                    step_metrics = [future.result() for future in futures]
+                # Fold in deterministic schedule order, not completion
+                # order; peak temp storage is maximal right before the
+                # wave's drops run.
+                for metrics in step_metrics:
+                    result.metrics.merge_in(metrics)
+                local_peak = max(
+                    local_peak, self._catalog.current_temp_bytes
+                )
+                for drop in wave.drops:
+                    self._catalog.drop_temp(temp_name_for(drop.node))
+        return local_peak
+
+    def _run_compute_isolated(
+        self,
+        step: Step,
+        result: ExecutionResult,
+        dictionaries: DictionaryCache,
+        wave_span: Span,
+    ) -> ExecutionMetrics:
+        metrics = ExecutionMetrics()
+        self._run_compute(
+            step, result, dictionaries, metrics=metrics, parent_span=wave_span
+        )
+        return metrics
 
     # -- internals ---------------------------------------------------------------
 
@@ -156,6 +284,7 @@ class PlanExecutor:
         columns: frozenset,
         name: str,
         metrics: ExecutionMetrics,
+        dictionaries: DictionaryCache | None = None,
     ) -> Table:
         """One Group By, answered from an index when profitable."""
         keys = sorted(columns)
@@ -169,21 +298,52 @@ class PlanExecutor:
                 # A covering index scan reads the narrow projection
                 # instead of full base rows.
                 if index.scan_width(keys, source) <= source.row_width():
-                    return index.group_by(keys, aggregates, name, metrics)
-        return group_by(source, keys, aggregates, name=name, metrics=metrics)
+                    return index.group_by(
+                        keys,
+                        aggregates,
+                        name,
+                        metrics,
+                        dictionaries=dictionaries,
+                    )
+        return group_by(
+            source,
+            keys,
+            aggregates,
+            name=name,
+            metrics=metrics,
+            dictionaries=dictionaries,
+        )
 
-    def _run_compute(self, step: Step, result: ExecutionResult) -> None:
+    def _run_compute(
+        self,
+        step: Step,
+        result: ExecutionResult,
+        dictionaries: DictionaryCache,
+        metrics: ExecutionMetrics | None = None,
+        parent_span: Span | None = None,
+    ) -> None:
         source, from_base = self._source_table(step.parent)
-        metrics = result.metrics
+        metrics = result.metrics if metrics is None else metrics
         metrics.queries_executed += 1
         bytes_before = metrics.work
-        with self._tracer.span(
-            "execute.node",
-            node=step.node.describe(),
-            source=step.parent.describe() if step.parent else "R",
-            kind=step.node.kind.value,
-            materialized=step.materialize,
-        ) as span:
+        if parent_span is None:
+            span_context = self._tracer.span(
+                "execute.node",
+                node=step.node.describe(),
+                source=step.parent.describe() if step.parent else "R",
+                kind=step.node.kind.value,
+                materialized=step.materialize,
+            )
+        else:
+            span_context = self._tracer.span_under(
+                parent_span,
+                "execute.node",
+                node=step.node.describe(),
+                source=step.parent.describe() if step.parent else "R",
+                kind=step.node.kind.value,
+                materialized=step.materialize,
+            )
+        with span_context as span:
             if step.node.kind is NodeKind.GROUP_BY:
                 table = self._group(
                     source,
@@ -191,6 +351,7 @@ class PlanExecutor:
                     step.node.columns,
                     temp_name_for(step.node),
                     metrics,
+                    dictionaries,
                 )
                 if step.materialize:
                     self._catalog.materialize_temp(table)
@@ -206,9 +367,13 @@ class PlanExecutor:
                     result.results[step.node.columns] = table
                 rows_out = table.num_rows
             elif step.node.kind is NodeKind.CUBE:
-                rows_out = self._run_cube(step, source, from_base, result)
+                rows_out = self._run_cube(
+                    step, source, from_base, result, metrics, dictionaries
+                )
             else:
-                rows_out = self._run_rollup(step, source, from_base, result)
+                rows_out = self._run_rollup(
+                    step, source, from_base, result, metrics, dictionaries
+                )
             # Attribute this step's bytes for per-node observability.
             step_bytes = metrics.work - bytes_before
             metrics.per_query_bytes[step.node.describe()] = step_bytes
@@ -220,16 +385,18 @@ class PlanExecutor:
         source: Table,
         from_base: bool,
         result: ExecutionResult,
+        metrics: ExecutionMetrics,
+        dictionaries: DictionaryCache,
     ) -> int:
         """CUBE node: full Group By from the parent, then each covered
         grouping from that result.  Returns the top grouping's rows."""
-        metrics = result.metrics
         top = self._group(
             source,
             from_base,
             step.node.columns,
             temp_name_for(step.node),
             metrics,
+            dictionaries,
         )
         top.build_dictionaries()
         if step.node.columns in step.direct_answers:
@@ -244,6 +411,7 @@ class PlanExecutor:
                 self._reaggregates,
                 name="cube_" + "_".join(sorted(query)),
                 metrics=metrics,
+                dictionaries=dictionaries,
             )
             result.results[query] = table
         return top.num_rows
@@ -254,10 +422,11 @@ class PlanExecutor:
         source: Table,
         from_base: bool,
         result: ExecutionResult,
+        metrics: ExecutionMetrics,
+        dictionaries: DictionaryCache,
     ) -> int:
         """ROLLUP node: successive prefixes, each from the previous.
         Returns the full grouping's rows."""
-        metrics = result.metrics
         order = step.node.rollup_order
         current = self._group(
             source,
@@ -265,6 +434,7 @@ class PlanExecutor:
             step.node.columns,
             temp_name_for(step.node),
             metrics,
+            dictionaries,
         )
         top_rows = current.num_rows
         if step.node.columns in step.direct_answers:
@@ -278,6 +448,7 @@ class PlanExecutor:
                 self._reaggregates,
                 name="rollup_" + "_".join(order[:i]),
                 metrics=metrics,
+                dictionaries=dictionaries,
             )
             if prefix in step.direct_answers:
                 result.results[prefix] = current

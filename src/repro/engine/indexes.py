@@ -104,12 +104,15 @@ class Index:
         aggregates: Sequence[AggregateSpec],
         name: str,
         metrics: ExecutionMetrics | None = None,
+        dictionaries=None,
     ) -> Table:
         """Answer a Group By from the index projection.
 
         Only valid for non-clustered indexes whose key covers ``columns``.
         When the requested columns are a key prefix the sorted fast path
-        is used (ordered aggregation, no hashing).
+        is used (ordered aggregation, no hashing).  ``dictionaries`` is
+        the executor's plan-wide dictionary cache, threaded through so
+        repeated covering-index scans share the projection's encodes.
         """
         if self._projection is None:
             raise SchemaError(
@@ -127,6 +130,7 @@ class Index:
             name=name,
             metrics=metrics,
             assume_sorted=sorted_path,
+            dictionaries=dictionaries,
         )
         if metrics is not None:
             metrics.index_scans += 1

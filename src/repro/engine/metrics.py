@@ -61,6 +61,21 @@ class ExecutionMetrics:
     def record_sort(self) -> None:
         self.sort_ops += 1
 
+    def merge_in(self, other: "ExecutionMetrics") -> None:
+        """Fold another metrics object into this one in place.
+
+        The parallel executor gives each plan-node step its own metrics
+        and folds them back in deterministic schedule order; counter
+        addition is commutative, so serial and parallel executions of
+        the same plan report equal totals.
+        """
+        for name in self.COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for query, bytes_ in other.per_query_bytes.items():
+            self.per_query_bytes[query] = (
+                self.per_query_bytes.get(query, 0) + bytes_
+            )
+
     def merged_with(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
         """Return a new metrics object combining self and other."""
         merged = ExecutionMetrics(

@@ -91,15 +91,41 @@ class Table:
         dictionary is built lazily on first use and cached (call
         :meth:`build_dictionaries` to pay the cost up front at load).
         Codes follow the sorted order of the distinct values, so
-        ``distinct_values[code]`` recovers the original value.
+        ``distinct_values[code]`` recovers the original value.  Dense
+        integer columns take the O(n) fast path of
+        :func:`repro.engine.dictcache.encode_column`.
         """
         if column not in self._dictionaries:
-            uniques, inverse = np.unique(self[column], return_inverse=True)
-            self._dictionaries[column] = (
-                inverse.astype(np.int64, copy=False),
-                uniques,
-            )
+            from repro.engine.dictcache import encode_column
+
+            self._dictionaries[column] = encode_column(self[column])
         return self._dictionaries[column]
+
+    def cached_dictionary(
+        self, column: str
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """An already-built dictionary for ``column``, or None.
+
+        Unlike :meth:`dictionary` this never triggers an encode, so
+        callers (the plan-wide ``DictionaryCache``) can distinguish a
+        hit from work about to happen.
+        """
+        return self._dictionaries.get(column)
+
+    def set_dictionary(
+        self, column: str, codes: np.ndarray, uniques: np.ndarray
+    ) -> None:
+        """Attach a precomputed dictionary for ``column``.
+
+        The caller guarantees ``uniques[codes]`` reproduces the column
+        (the engine uses this to hand derived ancestor codes to a
+        freshly built Group By result instead of re-encoding).
+        """
+        if column not in self._columns:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column!r}"
+            )
+        self._dictionaries[column] = (codes, uniques)
 
     def build_dictionaries(self) -> None:
         """Eagerly dictionary-encode every column (load-time work)."""
@@ -175,7 +201,12 @@ class Table:
         return projection
 
     def take(self, selector: np.ndarray, name: str | None = None) -> "Table":
-        """Return rows selected by a boolean mask or an index array."""
+        """Return rows selected by a boolean mask or an index array.
+
+        The result never inherits cached dictionaries: row selection
+        changes both the code sequence and (possibly) the distinct set,
+        so any carried-over dictionary would be stale.
+        """
         return Table.wrap(
             name or self.name,
             {c: arr[selector] for c, arr in self._columns.items()},
@@ -183,10 +214,19 @@ class Table:
 
     def rename(self, name: str) -> "Table":
         """Return the same data under a different relation name."""
-        return Table.wrap(name, dict(self._columns))
+        renamed = Table.wrap(name, dict(self._columns))
+        # Same arrays, same rows: every cached dictionary stays valid.
+        renamed._dictionaries.update(self._dictionaries)
+        return renamed
 
     def with_column(self, column: str, values: Sequence) -> "Table":
-        """Return a new table with an extra (or replaced) column."""
+        """Return a new table with an extra (or replaced) column.
+
+        Cached dictionaries carry over for the untouched columns (their
+        arrays are shared) but never for ``column`` itself — when it
+        replaces an existing column, the old dictionary describes the
+        old data and must not leak into the derived table.
+        """
         columns = dict(self._columns)
         columns[column] = coerce_column(values)
         if len(columns[column]) != self._num_rows:
@@ -194,10 +234,18 @@ class Table:
                 f"new column {column!r} has {len(columns[column])} rows, "
                 f"expected {self._num_rows}"
             )
-        return Table.wrap(self.name, columns)
+        derived = Table.wrap(self.name, columns)
+        for name, dictionary in self._dictionaries.items():
+            if name != column:
+                derived._dictionaries[name] = dictionary
+        return derived
 
     def sort_by(self, columns: Sequence[str], name: str | None = None) -> "Table":
-        """Return a copy sorted lexicographically by ``columns``."""
+        """Return a copy sorted lexicographically by ``columns``.
+
+        Like :meth:`take`, the result starts with no cached
+        dictionaries: the reordered rows need freshly aligned codes.
+        """
         order = np.lexsort([self[c] for c in reversed(list(columns))])
         return self.take(order, name=name)
 

@@ -140,19 +140,24 @@ def _node_spans_by_label(tracer: Tracer) -> dict[str, list[Span]]:
 
 
 def explain_analyze(
-    session, plan: LogicalPlan, schedule: str = "storage"
+    session, plan: LogicalPlan, schedule: str = "storage", parallelism: int = 1
 ) -> PlanAnalysis:
     """Execute ``plan`` instrumented and join estimates with actuals.
 
     Args:
         session: a :class:`repro.api.Session` (duck-typed: needs
             ``coster()``, ``estimator``, and ``execute(plan, schedule=,
-            tracer=)``) bound to the plan's base relation.
+            tracer=, parallelism=)``) bound to the plan's base relation.
         plan: the logical plan to run.
         schedule: execution schedule, as in ``Session.execute``.
+        parallelism: worker threads for wavefront execution (node spans
+            are matched by label, so analysis works identically either
+            way).
     """
     tracer = Tracer()
-    execution = session.execute(plan, schedule=schedule, tracer=tracer)
+    execution = session.execute(
+        plan, schedule=schedule, tracer=tracer, parallelism=parallelism
+    )
     by_label = _node_spans_by_label(tracer)
     coster = session.coster()
     estimator = session.estimator

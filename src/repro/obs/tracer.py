@@ -22,10 +22,14 @@ Two implementations share the interface:
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.obs.clock import monotonic
+
+#: Sentinel meaning "derive the parent from the current thread's stack".
+_STACK_PARENT = object()
 
 
 @dataclass
@@ -108,18 +112,25 @@ _NOOP_SPAN_CONTEXT = _NoopSpanContext()
 class _SpanContext:
     """Context manager opening one real span on entry."""
 
-    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_parent")
 
     def __init__(
-        self, tracer: "Tracer", name: str, attributes: dict[str, object]
+        self,
+        tracer: "Tracer",
+        name: str,
+        attributes: dict[str, object],
+        parent: object = _STACK_PARENT,
     ) -> None:
         self._tracer = tracer
         self._name = name
         self._attributes = attributes
         self._span: Span | None = None
+        self._parent = parent
 
     def __enter__(self) -> Span:
-        self._span = self._tracer._open(self._name, self._attributes)
+        self._span = self._tracer._open(
+            self._name, self._attributes, self._parent
+        )
         return self._span
 
     def __exit__(self, exc_type: object, *exc_info: object) -> None:
@@ -166,6 +177,13 @@ class HistogramStats:
 class Tracer:
     """Recording tracer: span tree, counters, histograms.
 
+    The tracer is thread-safe: span records and counters are guarded by
+    one lock, while the open-span stack is *per thread*, so workers of
+    the parallel wavefront executor each nest their own spans without
+    corrupting each other's parentage.  A span that must hang off
+    another thread's span (a per-node span under the executor's wave
+    span) is opened with :meth:`span_under`.
+
     Args:
         clock: monotonic time source (injectable for deterministic
             tests); defaults to :func:`repro.obs.clock.monotonic`.
@@ -176,7 +194,8 @@ class Tracer:
     def __init__(self, clock=monotonic) -> None:
         self._clock = clock
         self._next_id = 0
-        self._stack: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
         #: Finished and open spans, in start order.
         self.spans: list[Span] = []
         self.counters: dict[str, float] = {}
@@ -184,35 +203,68 @@ class Tracer:
 
     # -- spans -------------------------------------------------------------------
 
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     def span(self, name: str, **attributes: object) -> _SpanContext:
         """Open a child span of the current span for a ``with`` block."""
         return _SpanContext(self, name, attributes)
 
-    def _open(self, name: str, attributes: dict[str, object]) -> Span:
-        parent = self._stack[-1].span_id if self._stack else None
+    def span_under(
+        self, parent: object, name: str, **attributes: object
+    ) -> _SpanContext:
+        """Open a span under an explicit parent span (cross-thread).
+
+        ``parent`` is a :class:`Span` (or None for a root span); the
+        new span still pushes onto *this* thread's stack, so spans the
+        worker opens inside it nest correctly.
+        """
+        parent_id = parent.span_id if isinstance(parent, Span) else None
+        return _SpanContext(self, name, attributes, parent=parent_id)
+
+    def _open(
+        self,
+        name: str,
+        attributes: dict[str, object],
+        parent: object = _STACK_PARENT,
+    ) -> Span:
+        stack = self._stack
+        if parent is _STACK_PARENT:
+            parent_id = stack[-1].span_id if stack else None
+        else:
+            parent_id = parent  # type: ignore[assignment]
         span = Span(
             name=name,
-            span_id=self._next_id,
-            parent_id=parent,
+            span_id=0,
+            parent_id=parent_id,  # type: ignore[arg-type]
             start=self._clock(),
             attributes=dict(attributes),
         )
-        self._next_id += 1
-        self._stack.append(span)
-        self.spans.append(span)
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+            self.spans.append(span)
+        stack.append(span)
         return span
 
     def _close(self, span: Span) -> None:
         span.end = self._clock()
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
         else:  # pragma: no cover - misuse guard
-            self._stack = [s for s in self._stack if s is not span]
+            stack[:] = [s for s in stack if s is not span]
 
     @property
     def current_span(self) -> Span | None:
-        """The innermost open span, or None outside any span."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span on this thread, or None outside any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def root_spans(self) -> list[Span]:
         return [span for span in self.spans if span.parent_id is None]
@@ -224,14 +276,16 @@ class Tracer:
 
     def count(self, name: str, value: float = 1) -> None:
         """Increment a flat counter."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into a histogram."""
-        stats = self.histograms.get(name)
-        if stats is None:
-            stats = self.histograms[name] = HistogramStats()
-        stats.add(value)
+        with self._lock:
+            stats = self.histograms.get(name)
+            if stats is None:
+                stats = self.histograms[name] = HistogramStats()
+            stats.add(value)
 
     # -- export ------------------------------------------------------------------
 
@@ -270,6 +324,9 @@ class NoopTracer(Tracer):
     enabled = False
 
     def span(self, name: str, **attributes: object) -> _NoopSpanContext:  # type: ignore[override]
+        return _NOOP_SPAN_CONTEXT
+
+    def span_under(self, parent: object, name: str, **attributes: object) -> _NoopSpanContext:  # type: ignore[override]
         return _NOOP_SPAN_CONTEXT
 
     def count(self, name: str, value: float = 1) -> None:

@@ -297,3 +297,59 @@ class TestDriver:
         path, line = d.location.rsplit(":", 1)
         assert path.endswith("mod.py")
         assert int(line) >= 1
+
+
+class TestRowMaterializationInHotPath:
+    HOT = "src/repro/engine/aggregation.py"
+
+    def test_flags_to_rows_in_hot_path(self):
+        diagnostics = lint(
+            """
+            def kernel(table):
+                return table.to_rows()
+            """,
+            path=self.HOT,
+        )
+        assert "CL208" in rules_fired(diagnostics)
+
+    def test_flags_iter_rows_in_hot_path(self):
+        diagnostics = lint(
+            """
+            def kernel(table):
+                for row in table.iter_rows():
+                    pass
+            """,
+            path="src/repro/engine/executor.py",
+        )
+        assert "CL208" in rules_fired(diagnostics)
+
+    def test_columnar_access_clean(self):
+        diagnostics = lint(
+            """
+            def kernel(table):
+                return table["a"].sum()
+            """,
+            path=self.HOT,
+        )
+        assert "CL208" not in rules_fired(diagnostics)
+
+    def test_table_module_out_of_scope(self):
+        # table.py defines the row converters; iter_rows calls to_rows.
+        diagnostics = lint(
+            """
+            def iter_rows(self):
+                return iter(self.to_rows())
+            """,
+            path="src/repro/engine/table.py",
+        )
+        assert "CL208" not in rules_fired(diagnostics)
+
+    def test_io_boundary_out_of_scope(self):
+        diagnostics = lint(
+            """
+            def write_csv(table):
+                return table.to_rows()
+            """,
+            path="src/repro/engine/csv_io.py",
+        )
+        assert "CL208" not in rules_fired(diagnostics)

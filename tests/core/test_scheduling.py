@@ -5,6 +5,8 @@ from hypothesis import given, settings, strategies as st
 from repro.core.plan import LogicalPlan, PlanNode, SubPlan, naive_plan
 from repro.core.scheduling import (
     depth_first_schedule,
+    flatten_waves,
+    wavefront_schedule,
     peak_storage_of_schedule,
     storage_minimizing_schedule,
 )
@@ -141,3 +143,58 @@ def test_marked_schedule_vs_storage_recursion(subplan, unit):
     assert peak >= formula - 1e-9
     if not _bf_node_has_materialized_grandchildren(subplan, size_of):
         assert peak == formula
+
+
+class TestWavefront:
+    def test_flattened_waves_are_a_valid_schedule(self):
+        waves = wavefront_schedule(sample_plan())
+        computed = schedule_invariants(flatten_waves(waves))
+        assert len(computed) == 4
+
+    def test_waves_grouped_by_depth(self):
+        waves = wavefront_schedule(sample_plan())
+        assert len(waves) == 2
+        assert {s.node.columns for s in waves[0].steps} == {
+            fs("a", "b"),
+            fs("c"),
+        }
+        assert {s.node.columns for s in waves[1].steps} == {fs("a"), fs("b")}
+
+    def test_drops_attached_to_child_wave(self):
+        waves = wavefront_schedule(sample_plan())
+        assert waves[0].drops == ()
+        assert [s.node.columns for s in waves[1].drops] == [fs("a", "b")]
+
+    def test_in_wave_order_deterministic(self):
+        a = wavefront_schedule(sample_plan())
+        b = wavefront_schedule(sample_plan())
+        for wave_a, wave_b in zip(a, b):
+            assert [s.node for s in wave_a.steps] == [
+                s.node for s in wave_b.steps
+            ]
+            assert wave_a.describe() == wave_b.describe()
+
+    def test_wave_steps_mutually_independent(self):
+        waves = wavefront_schedule(sample_plan())
+        for wave in waves:
+            nodes = {s.node for s in wave.steps}
+            for step in wave.steps:
+                assert step.parent not in nodes
+
+    @settings(max_examples=60, deadline=None)
+    @given(subplan=random_subplans())
+    def test_random_plans_flatten_validly(self, subplan):
+        plan = LogicalPlan("R", (subplan,), frozenset())
+        waves = wavefront_schedule(plan)
+        computed = schedule_invariants(flatten_waves(waves))
+        assert computed == {
+            s.node for s in depth_first_schedule(plan) if s.action == "compute"
+        }
+        # Parents always land in an earlier wave than their children.
+        wave_of = {
+            step.node: wave.index for wave in waves for step in wave.steps
+        }
+        for wave in waves:
+            for step in wave.steps:
+                if step.parent is not None:
+                    assert wave_of[step.parent] < wave.index

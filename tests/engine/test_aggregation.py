@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.engine.aggregation import (
     AggregateSpec,
+    _dense_group_ids,
     BINCOUNT_LIMIT,
     combined_group_codes,
     factorize,
@@ -15,7 +16,7 @@ from repro.engine.aggregation import (
 )
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.table import Table
-from repro.engine.types import SchemaError
+from repro.engine.types import INT_NULL, SchemaError
 from tests.conftest import brute_force_group_by, result_as_dict
 
 
@@ -260,3 +261,86 @@ class TestStringMinMax:
         table = Table("t", {"g": [7, 7], "s": ["zz", "aa"]})
         result = group_by(table, ["g"], [AggregateSpec("min", "s", "m")])
         assert result.to_rows() == [(7, "aa")]
+
+
+class TestSortedBoundariesProperty:
+    """Pin the sorted-path boundary detection to the hash path, bit for
+    bit, on randomized sorted inputs (NULL sentinels included)."""
+
+    @given(
+        ints=st.lists(
+            st.sampled_from([INT_NULL, -3, 0, 1, 2, 7]), max_size=60
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_bit_identical_to_hash_path(self, ints, data):
+        n = len(ints)
+        strs = data.draw(
+            st.lists(
+                st.sampled_from(["", "a", "b", "zz"]), min_size=n, max_size=n
+            )
+        )
+        table = Table("t", {"i": ints, "s": strs}) if n else Table.wrap(
+            "t",
+            {
+                "i": np.zeros(0, dtype=np.int64),
+                "s": np.zeros(0, dtype="U2"),
+            },
+        )
+        keys = data.draw(st.sampled_from([["i"], ["s"], ["i", "s"], ["s", "i"]]))
+        ordered = table.sort_by(keys)
+        ids_a, first_a, n_a = sorted_group_boundaries(ordered, keys)
+        ids_b, first_b, n_b = combined_group_codes(ordered, keys)
+        assert n_a == n_b
+        np.testing.assert_array_equal(ids_a, ids_b)
+        np.testing.assert_array_equal(first_a, first_b)
+
+    def test_single_group(self):
+        table = Table("t", {"k": [5, 5, 5]})
+        ids, first, n = sorted_group_boundaries(table, ["k"])
+        ids_h, first_h, n_h = combined_group_codes(table, ["k"])
+        assert (n, list(ids), list(first)) == (n_h, list(ids_h), list(first_h))
+        assert n == 1
+
+    def test_empty_input(self):
+        table = Table.wrap("t", {"k": np.zeros(0, dtype=np.int64)})
+        ids, first, n = sorted_group_boundaries(table, ["k"])
+        assert n == 0 and len(ids) == 0 and len(first) == 0
+
+    def test_group_by_sorted_equals_hash(self):
+        rng = np.random.default_rng(3)
+        values = np.sort(rng.integers(0, 9, 200))
+        table = Table("t", {"k": values, "v": rng.integers(0, 5, 200)})
+        sorted_result = group_by(
+            table,
+            ["k"],
+            [AggregateSpec.count_star()],
+            assume_sorted=True,
+        )
+        hash_result = group_by(table, ["k"], [AggregateSpec.count_star()])
+        np.testing.assert_array_equal(sorted_result["k"], hash_result["k"])
+        np.testing.assert_array_equal(
+            sorted_result["cnt"], hash_result["cnt"]
+        )
+
+
+class TestDenseGroupIds:
+    """The fused bincount ranking must equal np.unique exactly."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=80)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_np_unique(self, values):
+        combined = np.array(values, dtype=np.int64)
+        ids, first, counts = _dense_group_ids(combined, 41)
+        _, ref_first, ref_inverse, ref_counts = np.unique(
+            combined,
+            return_index=True,
+            return_inverse=True,
+            return_counts=True,
+        )
+        np.testing.assert_array_equal(ids, ref_inverse)
+        np.testing.assert_array_equal(first, ref_first)
+        np.testing.assert_array_equal(counts, ref_counts)

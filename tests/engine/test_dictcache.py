@@ -1,0 +1,143 @@
+"""Unit tests for the plan-wide dictionary-encoding cache and its
+O(n) factorize fast path."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.dictcache import (
+    DENSE_RANGE_FLOOR,
+    DictionaryCache,
+    encode_column,
+    legacy_encode,
+)
+from repro.engine.table import Table
+from repro.engine.types import INT_NULL, SchemaError
+
+
+def assert_same_encoding(array):
+    codes, uniques = encode_column(array)
+    ref_codes, ref_uniques = legacy_encode(array)
+    np.testing.assert_array_equal(codes, ref_codes)
+    np.testing.assert_array_equal(uniques, ref_uniques)
+    assert codes.dtype == ref_codes.dtype
+
+
+class TestEncodeColumn:
+    def test_dense_int_fast_path(self):
+        assert_same_encoding(np.array([5, 3, 5, 7, 3, 3], dtype=np.int64))
+
+    def test_negative_values(self):
+        assert_same_encoding(np.array([-4, 2, -4, 0, 9], dtype=np.int64))
+
+    def test_wide_range_falls_back(self):
+        # Range far beyond the dense budget: must still match np.unique.
+        assert_same_encoding(
+            np.array([0, 10**15, 3, -(10**15)], dtype=np.int64)
+        )
+
+    def test_int_null_sentinel_falls_back(self):
+        # INT_NULL is int64 min; the span does not fit the dense budget
+        # (or even int64), so the sort-based path must take over.
+        assert_same_encoding(np.array([INT_NULL, 1, 2, INT_NULL, 1]))
+
+    def test_string_column(self):
+        assert_same_encoding(np.array(["b", "a", "b", ""], dtype="U3"))
+
+    def test_float_column(self):
+        assert_same_encoding(np.array([2.5, 1.0, 2.5, -0.5]))
+
+    def test_empty(self):
+        assert_same_encoding(np.array([], dtype=np.int64))
+        assert_same_encoding(np.array([], dtype="U1"))
+
+    def test_single_value(self):
+        assert_same_encoding(np.array([42], dtype=np.int64))
+
+    def test_random_ints_match_reference(self):
+        rng = np.random.default_rng(7)
+        for span in (10, 1_000, DENSE_RANGE_FLOOR * 8):
+            array = rng.integers(-span, span, size=2_000)
+            assert_same_encoding(array)
+
+    def test_codes_follow_sorted_value_order(self):
+        codes, uniques = encode_column(np.array([30, 10, 20, 10]))
+        assert list(uniques) == [10, 20, 30]
+        assert list(codes) == [2, 0, 1, 0]
+
+
+class TestDictionaryCache:
+    def make_table(self):
+        return Table("t", {"a": [3, 1, 3, 2], "b": ["x", "y", "x", "x"]})
+
+    def test_codes_match_table_dictionary(self):
+        table = self.make_table()
+        cache = DictionaryCache()
+        codes, uniques = cache.codes(table, "a")
+        ref_codes, ref_uniques = table.dictionary("a")
+        np.testing.assert_array_equal(codes, ref_codes)
+        np.testing.assert_array_equal(uniques, ref_uniques)
+
+    def test_hits_and_misses_counted(self):
+        table = self.make_table()
+        cache = DictionaryCache()
+        cache.codes(table, "a")
+        cache.codes(table, "a")
+        cache.codes(table, "b")
+        assert cache.stats() == {"hits": 1, "misses": 2}
+
+    def test_precomputed_dictionary_is_a_hit(self):
+        table = self.make_table()
+        table.build_dictionaries()
+        cache = DictionaryCache()
+        cache.codes(table, "a")
+        assert cache.stats() == {"hits": 1, "misses": 0}
+
+    def test_distinct_tables_not_conflated(self):
+        t1 = Table("t1", {"a": [1, 2]})
+        t2 = Table("t2", {"a": [5, 5]})
+        cache = DictionaryCache()
+        _, u1 = cache.codes(t1, "a")
+        _, u2 = cache.codes(t2, "a")
+        assert list(u1) == [1, 2]
+        assert list(u2) == [5]
+
+    def test_concurrent_access_encodes_consistently(self):
+        rng = np.random.default_rng(1)
+        table = Table("big", {"k": rng.integers(0, 500, 20_000)})
+        cache = DictionaryCache()
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                results.append(cache.codes(table, "k"))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        ref_codes, ref_uniques = legacy_encode(table["k"])
+        for codes, uniques in results:
+            np.testing.assert_array_equal(codes, ref_codes)
+            np.testing.assert_array_equal(uniques, ref_uniques)
+
+
+class TestTableDictionaryIntegration:
+    def test_cached_dictionary_never_encodes(self):
+        table = Table("t", {"a": [1, 2, 1]})
+        assert table.cached_dictionary("a") is None
+        table.dictionary("a")
+        assert table.cached_dictionary("a") is not None
+
+    def test_set_dictionary_requires_column(self):
+        table = Table("t", {"a": [1]})
+        with pytest.raises(SchemaError):
+            table.set_dictionary(
+                "missing", np.zeros(1, dtype=np.int64), np.array([1])
+            )

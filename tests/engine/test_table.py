@@ -139,3 +139,46 @@ class TestDictionary:
         table = Table("t", {"x": [INT_NULL, 1, INT_NULL]})
         codes, values = table.dictionary("x")
         assert len(values) == 2
+
+
+class TestDictionaryStaleness:
+    """Derived tables must never serve a dictionary built for other data."""
+
+    def base(self):
+        table = Table("t", {"a": [3, 1, 2, 1], "b": ["x", "y", "y", "x"]})
+        table.build_dictionaries()
+        return table
+
+    def test_take_reencodes_for_new_rows(self):
+        table = self.base()
+        subset = table.take(np.array([0, 2]))
+        codes, values = subset.dictionary("a")
+        assert list(values) == [2, 3]
+        assert list(values[codes]) == [3, 2]
+
+    def test_sort_by_reencodes_for_new_order(self):
+        table = self.base()
+        ordered = table.sort_by(["a"])
+        codes, values = ordered.dictionary("a")
+        assert list(values[codes]) == list(ordered["a"]) == [1, 1, 2, 3]
+
+    def test_with_column_replacement_drops_stale_dictionary(self):
+        table = self.base()
+        derived = table.with_column("a", [9, 9, 8, 7])
+        codes, values = derived.dictionary("a")
+        assert list(values) == [7, 8, 9]
+        assert list(values[codes]) == [9, 9, 8, 7]
+
+    def test_with_column_keeps_untouched_dictionaries(self):
+        table = self.base()
+        derived = table.with_column("c", [0, 1, 2, 3])
+        # Untouched column: same rows, same arrays — carry-over is valid
+        # and must not re-encode.
+        assert derived.cached_dictionary("b") is not None
+        codes, values = derived.dictionary("b")
+        assert list(values[codes]) == list(derived["b"])
+
+    def test_rename_shares_dictionaries(self):
+        table = self.base()
+        renamed = table.rename("other")
+        assert renamed.cached_dictionary("a") is table.cached_dictionary("a")

@@ -165,3 +165,90 @@ class TestJsonlRoundTrip:
         assert list(tracer.to_jsonl_lines()) == [
             line for line in path.read_text().splitlines() if line
         ]
+
+
+class TestSpanUnder:
+    def test_explicit_parent(self):
+        tracer = Tracer()
+        with tracer.span("wave") as wave:
+            pass
+        with tracer.span_under(wave, "node") as node:
+            assert node.parent_id == wave.span_id
+
+    def test_none_parent_makes_root(self):
+        tracer = Tracer()
+        with tracer.span_under(None, "root") as span:
+            assert span.parent_id is None
+
+    def test_children_nest_inside(self):
+        tracer = Tracer()
+        with tracer.span("wave") as wave:
+            with tracer.span_under(wave, "node"):
+                with tracer.span("inner") as inner:
+                    pass
+        node = next(s for s in tracer.spans if s.name == "node")
+        assert inner.parent_id == node.span_id
+
+    def test_noop_tracer_span_under(self):
+        with NOOP_TRACER.span_under(None, "x") as span:
+            span.set(ignored=True)
+        assert NOOP_TRACER.spans == []
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_unique_ids_and_parents(self):
+        import threading
+
+        tracer = Tracer()
+        with tracer.span("wave") as wave:
+            def worker(i):
+                with tracer.span_under(wave, f"node-{i}"):
+                    with tracer.span(f"inner-{i}"):
+                        pass
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        ids = [s.span_id for s in tracer.spans]
+        assert len(ids) == len(set(ids)) == 17
+        for i in range(8):
+            node = next(s for s in tracer.spans if s.name == f"node-{i}")
+            inner = next(s for s in tracer.spans if s.name == f"inner-{i}")
+            assert node.parent_id == wave.span_id
+            assert inner.parent_id == node.span_id
+
+    def test_concurrent_counters(self):
+        import threading
+
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(1000):
+                tracer.count("hits")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracer.counters["hits"] == 4000
+
+    def test_per_thread_current_span(self):
+        import threading
+
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            seen["worker"] = tracer.current_span
+
+        with tracer.span("outer"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert tracer.current_span is not None
+        assert seen["worker"] is None

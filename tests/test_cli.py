@@ -223,6 +223,35 @@ class TestTrace:
         assert main(["trace"]) == 2
         assert "--workload" in capsys.readouterr().err
 
+    def test_trace_parallel_wavefront(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--parallelism", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execute.plan" in out
+        assert "execute.wave" in out
+
+    def test_explain_analyze_parallel(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--analyze",
+                "--parallelism", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "actual rows=" in out
+
 
 class TestErrorHandling:
     def test_missing_file(self, capsys):
