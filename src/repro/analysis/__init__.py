@@ -20,6 +20,12 @@ Both are exposed through the CLI (``repro lint-plan`` /
 
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.linter import CODE_RULES, lint_paths, lint_source
+from repro.analysis.physrules import (
+    PHYSICAL_RULES,
+    PhysicalRule,
+    check_physical_plan,
+    verify_physical_plan,
+)
 from repro.analysis.planrules import PLAN_RULES, PlanRule
 from repro.analysis.verifier import (
     STRUCTURAL_RULES,
@@ -34,16 +40,20 @@ from repro.analysis.verifier import (
 __all__ = [
     "CODE_RULES",
     "Diagnostic",
+    "PHYSICAL_RULES",
     "PLAN_RULES",
+    "PhysicalRule",
     "PlanRule",
     "PlanVerificationError",
     "STRUCTURAL_RULES",
     "Severity",
     "VerifyContext",
     "check_payload",
+    "check_physical_plan",
     "check_plan",
     "lint_paths",
     "lint_source",
     "verify_payload",
+    "verify_physical_plan",
     "verify_plan",
 ]

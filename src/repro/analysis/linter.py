@@ -17,7 +17,7 @@ to apply (empty scope = every file).  The catalog:
 * ``CL204`` ``dtype=object`` arrays in engine hot paths;
 * ``CL205`` membership tests against locally-built lists inside loops
   (quadratic scans);
-* ``CL206`` un-parameterized builtin generics in ``core`` annotations;
+* ``CL206`` un-parameterized builtin generics in annotations, repo-wide;
 * ``CL207`` wall-clock ``time.time()`` calls (timings must use the
   monotonic clock helper in ``repro.obs.clock``);
 * ``CL208`` ``to_rows()``/``iter_rows()`` calls in engine hot-path
@@ -331,7 +331,6 @@ def _bare_generics(annotation: ast.expr) -> Iterator[ast.Name]:
     "CL206",
     "bare-generic-annotation",
     "un-parameterized builtin generic hides the element type",
-    scope=("repro/core/",),
 )
 def check_bare_generic(tree: ast.Module) -> Iterator[Finding]:
     annotations: list[ast.expr] = []

@@ -1,0 +1,330 @@
+"""Physical-plan invariant rules (verifier Layer 1b, PV012+).
+
+The logical rule catalog (:mod:`repro.analysis.planrules`) checks the
+optimizer's output; these rules check the *lowering's* output — the
+:class:`~repro.physical.plan.PhysicalPlan` the executor is about to
+interpret.  They enforce the data-flow contract between pipelines:
+
+* PV012 — the operator graph is a well-formed DAG (ids are positions,
+  every edge points backwards, pipelines reference real operators,
+  partition counts are positive);
+* PV013 — data crossing a pipeline boundary goes through a
+  ``Materialize`` that runs in a strictly earlier pipeline than its
+  consumer;
+* PV014 — every materialized temp is dropped exactly once, after its
+  last consumer, and nothing drops a temp that was never materialized;
+* PV015 — per-operator transient-memory estimates respect the plan's
+  memory budget (a warning: the lowering should have demoted the
+  operator to sorting or partitioned execution).
+
+The rules live in their own registry (:data:`PHYSICAL_RULES`) — the
+logical verifier validates requested ids against ``PLAN_RULES`` and
+must not see physical ids.  :func:`check_physical_plan` is the
+executor's gate: it raises the same
+:class:`~repro.analysis.verifier.PlanVerificationError` the logical
+gate uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+)
+from repro.analysis.verifier import PlanVerificationError
+from repro.physical.plan import (
+    DropTemp,
+    GroupingOperator,
+    Materialize,
+    PhysicalPlan,
+    Reaggregate,
+)
+
+PhysicalCheckFn = Callable[[PhysicalPlan, DiagnosticCollector], None]
+
+
+@dataclass(frozen=True)
+class PhysicalRule:
+    """One physical-plan rule: id, invariant, and checker.
+
+    Args:
+        rule_id: stable identifier (``PV012``...).
+        name: short kebab-case name.
+        invariant: the property being enforced, in one sentence.
+        severity: severity of findings this rule emits.
+        check: the rule body.
+    """
+
+    rule_id: str
+    name: str
+    invariant: str
+    severity: Severity
+    check: PhysicalCheckFn
+
+
+#: Ordered registry of every physical rule, keyed by rule id.
+PHYSICAL_RULES: dict[str, PhysicalRule] = {}
+
+
+def physical_rule(
+    rule_id: str,
+    name: str,
+    invariant: str,
+    severity: Severity = Severity.ERROR,
+) -> Callable[[PhysicalCheckFn], PhysicalCheckFn]:
+    """Register a checker function as a physical-plan rule."""
+
+    def register(check: PhysicalCheckFn) -> PhysicalCheckFn:
+        if rule_id in PHYSICAL_RULES:
+            raise ValueError(f"duplicate physical rule id {rule_id}")
+        PHYSICAL_RULES[rule_id] = PhysicalRule(
+            rule_id, name, invariant, severity, check
+        )
+        return check
+
+    return register
+
+
+def _pipeline_of(plan: PhysicalPlan) -> dict[int, int]:
+    """op id -> index of the pipeline that runs it."""
+    owner: dict[int, int] = {}
+    for index, pipeline in enumerate(plan.pipelines):
+        for op_id in pipeline.ops:
+            owner.setdefault(op_id, index)
+    return owner
+
+
+@physical_rule(
+    "PV012",
+    "physical-dag",
+    "Operator ids are positions, every data edge points backwards, "
+    "pipelines reference real operators exactly once, and partition "
+    "counts are positive.",
+)
+def check_physical_dag(plan: PhysicalPlan, out: DiagnosticCollector) -> None:
+    n = len(plan.operators)
+    for op in plan.operators:
+        where = f"op {op.op_id} ({op.describe()})"
+        for source in op.inputs():
+            if not 0 <= source < n:
+                out.emit(
+                    "PV012",
+                    Severity.ERROR,
+                    where,
+                    f"references unknown operator id {source}",
+                )
+            elif source >= op.op_id:
+                out.emit(
+                    "PV012",
+                    Severity.ERROR,
+                    where,
+                    f"input edge {source} does not point backwards "
+                    "(the operator graph must be acyclic)",
+                )
+        if isinstance(op, GroupingOperator) and op.partitions < 1:
+            out.emit(
+                "PV012",
+                Severity.ERROR,
+                where,
+                f"partition count {op.partitions} must be >= 1",
+            )
+    seen: set[int] = set()
+    for index, pipeline in enumerate(plan.pipelines):
+        where = f"pipeline {index} ({pipeline.label})"
+        if not pipeline.ops:
+            out.emit("PV012", Severity.ERROR, where, "pipeline has no operators")
+        for op_id in pipeline.ops:
+            if not 0 <= op_id < n:
+                out.emit(
+                    "PV012",
+                    Severity.ERROR,
+                    where,
+                    f"references unknown operator id {op_id}",
+                )
+            elif op_id in seen:
+                out.emit(
+                    "PV012",
+                    Severity.ERROR,
+                    where,
+                    f"operator {op_id} appears in more than one pipeline",
+                )
+            seen.add(op_id)
+    for op in plan.operators:
+        if op.op_id not in seen:
+            out.emit(
+                "PV012",
+                Severity.ERROR,
+                f"op {op.op_id} ({op.describe()})",
+                "operator belongs to no pipeline",
+            )
+
+
+@physical_rule(
+    "PV013",
+    "materialize-before-reuse",
+    "Every cross-pipeline input is a Materialize operator running in a "
+    "strictly earlier pipeline than its consumer.",
+)
+def check_materialize_before_reuse(
+    plan: PhysicalPlan, out: DiagnosticCollector
+) -> None:
+    owner = _pipeline_of(plan)
+    for op in plan.operators:
+        if not isinstance(op, Reaggregate):
+            continue
+        where = f"op {op.op_id} ({op.describe()})"
+        source = plan.operators[op.source] if 0 <= op.source < len(
+            plan.operators
+        ) else None
+        if not isinstance(source, Materialize):
+            out.emit(
+                "PV013",
+                Severity.ERROR,
+                where,
+                "cross-pipeline input is not a Materialize operator",
+                hint="Reaggregate reads its parent through the catalog; "
+                "its source must be the parent's Materialize.",
+            )
+            continue
+        producer = owner.get(source.op_id)
+        consumer = owner.get(op.op_id)
+        if producer is None or consumer is None:
+            continue  # PV012 reports orphans
+        if producer >= consumer:
+            out.emit(
+                "PV013",
+                Severity.ERROR,
+                where,
+                f"consumes {source.describe()} from pipeline {producer}, "
+                f"which does not run before pipeline {consumer}",
+            )
+
+
+@physical_rule(
+    "PV014",
+    "drop-after-last-use",
+    "Every materialized temp is dropped exactly once, after its last "
+    "consumer, and no DropTemp releases a temp that was never "
+    "materialized.",
+)
+def check_drop_after_last_use(
+    plan: PhysicalPlan, out: DiagnosticCollector
+) -> None:
+    owner = _pipeline_of(plan)
+    materialized: dict[str, int] = {}
+    drops: dict[str, list[int]] = {}
+    last_use: dict[str, int] = {}
+    for op in plan.operators:
+        pipeline = owner.get(op.op_id)
+        if pipeline is None:
+            continue
+        if isinstance(op, Materialize):
+            materialized[op.output] = pipeline
+        elif isinstance(op, DropTemp):
+            drops.setdefault(op.temp, []).append(pipeline)
+        elif isinstance(op, Reaggregate):
+            source = plan.operators[op.source] if 0 <= op.source < len(
+                plan.operators
+            ) else None
+            if isinstance(source, Materialize):
+                last_use[source.output] = max(
+                    last_use.get(source.output, -1), pipeline
+                )
+    for temp, producer in materialized.items():
+        temp_drops = drops.get(temp, [])
+        if len(temp_drops) != 1:
+            out.emit(
+                "PV014",
+                Severity.ERROR,
+                f"temp {temp}",
+                f"materialized once but dropped {len(temp_drops)} times",
+                hint="each Materialize needs exactly one matching DropTemp.",
+            )
+            continue
+        drop_at = temp_drops[0]
+        cutoff = max(last_use.get(temp, producer), producer)
+        if drop_at <= cutoff:
+            out.emit(
+                "PV014",
+                Severity.ERROR,
+                f"temp {temp}",
+                f"dropped in pipeline {drop_at} but still used in "
+                f"pipeline {cutoff}",
+            )
+    for temp in drops:
+        if temp not in materialized:
+            out.emit(
+                "PV014",
+                Severity.ERROR,
+                f"temp {temp}",
+                "dropped but never materialized",
+            )
+
+
+@physical_rule(
+    "PV015",
+    "memory-budget",
+    "No operator's transient-memory estimate exceeds the plan-wide "
+    "memory budget.",
+    severity=Severity.WARNING,
+)
+def check_memory_budget(plan: PhysicalPlan, out: DiagnosticCollector) -> None:
+    budget = plan.memory_budget_bytes
+    if budget is None:
+        return
+    for op in plan.operators:
+        if op.est_mem_bytes > budget:
+            out.emit(
+                "PV015",
+                Severity.WARNING,
+                f"op {op.op_id} ({op.describe()})",
+                f"estimated transient memory {op.est_mem_bytes:.0f}B "
+                f"exceeds the plan budget {budget:.0f}B",
+                hint="the lowering should demote the operator to the "
+                "sort regime or partitioned execution.",
+            )
+
+
+def verify_physical_plan(
+    plan: PhysicalPlan, rules: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Run the physical rule catalog over a lowered plan.
+
+    Args:
+        plan: the physical plan to verify.
+        rules: restrict to these rule ids (default: all).
+
+    Returns:
+        Every diagnostic, errors and warnings, in rule order.
+    """
+    selected = set(rules) if rules is not None else None
+    if selected is not None:
+        unknown = selected - PHYSICAL_RULES.keys()
+        if unknown:
+            raise ValueError(
+                f"unknown physical rule id(s): {', '.join(sorted(unknown))}"
+            )
+    collector = DiagnosticCollector()
+    for rule_id, rule in PHYSICAL_RULES.items():
+        if selected is not None and rule_id not in selected:
+            continue
+        rule.check(plan, collector)
+    return collector.diagnostics
+
+
+def check_physical_plan(
+    plan: PhysicalPlan, rules: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Verify and raise on errors; returns the (warning-only) findings.
+
+    Raises:
+        PlanVerificationError: when any error-severity rule fires.
+    """
+    diagnostics = verify_physical_plan(plan, rules)
+    if any(d.severity is Severity.ERROR for d in diagnostics):
+        raise PlanVerificationError(diagnostics)
+    return diagnostics

@@ -170,7 +170,7 @@ def _view_of_payload(payload: object, path: str) -> NodeView:
     )
 
 
-def view_of_payload(payload: dict) -> PlanView:
+def view_of_payload(payload: dict[str, object]) -> PlanView:
     """Build a view from the serialized dict form of a plan.
 
     Unlike :func:`repro.core.serialize.plan_from_dict`, this never

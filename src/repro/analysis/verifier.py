@@ -127,7 +127,7 @@ def verify_plan(
 
 
 def verify_payload(
-    payload: dict,
+    payload: dict[str, object],
     context: VerifyContext | None = None,
     rules: Iterable[str] | None = None,
 ) -> list[Diagnostic]:
@@ -154,7 +154,7 @@ def check_plan(
 
 
 def check_payload(
-    payload: dict,
+    payload: dict[str, object],
     context: VerifyContext | None = None,
     rules: Iterable[str] | None = None,
 ) -> list[Diagnostic]:

@@ -10,6 +10,7 @@ advanced use, but the examples and experiments go through this facade.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.optimizer import (
     GbMqoOptimizer,
@@ -17,7 +18,11 @@ from repro.core.optimizer import (
     OptimizerOptions,
 )
 from repro.core.plan import LogicalPlan, naive_plan
-from repro.core.scheduling import depth_first_schedule, storage_minimizing_schedule
+from repro.core.scheduling import (
+    Step,
+    depth_first_schedule,
+    storage_minimizing_schedule,
+)
 from repro.core.storage import estimator_size_fn
 from repro.costmodel.base import PlanCoster
 from repro.costmodel.cardinality import CardinalityCostModel
@@ -41,6 +46,9 @@ from repro.workloads.queries import (  # noqa: F401
     two_column_queries,
 )
 from repro.workloads.tpch import make_lineitem  # noqa: F401
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.physical.plan import PhysicalPlan
 
 
 @dataclass
@@ -87,7 +95,10 @@ class Session:
         #: per physical-design version.  Off by default so experiment
         #: timings stay honest; enable for serving workloads.
         self.enable_plan_cache = enable_plan_cache
-        self._plan_cache: dict = {}
+        self._plan_cache: dict[
+            tuple[frozenset[frozenset[str]], OptimizerOptions | None, int],
+            OptimizationResult,
+        ] = {}
         self._design_version = 0
         self.plan_cache_hits = 0
 
@@ -177,7 +188,7 @@ class Session:
 
     def optimize(
         self,
-        queries: list[frozenset],
+        queries: list[frozenset[str]],
         options: OptimizerOptions | None = None,
     ) -> OptimizationResult:
         """Run the GB-MQO hill climber on the input queries.
@@ -204,6 +215,37 @@ class Session:
         optimizer = GbMqoOptimizer(self.coster(), options, tracer=self.tracer)
         return optimizer.optimize(self.base_table, queries)
 
+    def _schedule_steps(
+        self, plan: LogicalPlan, schedule: str, parallelism: int
+    ) -> list[Step] | None:
+        if parallelism > 1:
+            return None
+        if schedule == "storage":
+            return storage_minimizing_schedule(
+                plan, estimator_size_fn(self.estimator)
+            )
+        if schedule == "depth_first":
+            return depth_first_schedule(plan)
+        raise ValueError(f"unknown schedule {schedule!r}")
+
+    def _executor(
+        self,
+        aggregates: list[AggregateSpec] | None,
+        tracer: Tracer | None,
+        parallelism: int,
+        memory_budget_bytes: float | None,
+    ) -> PlanExecutor:
+        return PlanExecutor(
+            self.catalog,
+            self.base_table,
+            aggregates=aggregates,
+            use_indexes=self.use_indexes,
+            tracer=tracer or self.tracer,
+            parallelism=parallelism,
+            estimator=self.estimator,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+
     def execute(
         self,
         plan: LogicalPlan,
@@ -211,8 +253,13 @@ class Session:
         aggregates: list[AggregateSpec] | None = None,
         tracer: Tracer | None = None,
         parallelism: int = 1,
+        memory_budget_bytes: float | None = None,
     ) -> ExecutionResult:
         """Execute a logical plan.
+
+        The plan is lowered to costed physical operators
+        (:mod:`repro.physical`) — hash vs sort grouping chosen per node
+        from the session's statistics — verified, and interpreted.
 
         Args:
             plan: the plan to run.
@@ -226,31 +273,40 @@ class Session:
             parallelism: worker threads for wavefront execution; 1 runs
                 the linear schedule serially.  Parallel runs produce
                 bit-identical results and equal metrics totals.
+            memory_budget_bytes: plan-wide transient-memory budget for
+                the lowering; groupings estimated over it are demoted to
+                the sort regime and then to partitioned execution.
+                Results stay bit-identical.
         """
-        steps: list | None
-        if parallelism > 1:
-            steps = None
-        elif schedule == "storage":
-            steps = storage_minimizing_schedule(
-                plan, estimator_size_fn(self.estimator)
-            )
-        elif schedule == "depth_first":
-            steps = depth_first_schedule(plan)
-        else:
-            raise ValueError(f"unknown schedule {schedule!r}")
-        executor = PlanExecutor(
-            self.catalog,
-            self.base_table,
-            aggregates=aggregates,
-            use_indexes=self.use_indexes,
-            tracer=tracer or self.tracer,
-            parallelism=parallelism,
+        steps = self._schedule_steps(plan, schedule, parallelism)
+        executor = self._executor(
+            aggregates, tracer, parallelism, memory_budget_bytes
         )
         return executor.execute(plan, steps)
 
+    def lower(
+        self,
+        plan: LogicalPlan,
+        schedule: str = "storage",
+        aggregates: list[AggregateSpec] | None = None,
+        parallelism: int = 1,
+        memory_budget_bytes: float | None = None,
+    ) -> "PhysicalPlan":
+        """Lower a logical plan to its physical form without running it.
+
+        Same knobs as :meth:`execute`; returns the
+        :class:`~repro.physical.plan.PhysicalPlan` that ``execute``
+        would interpret (render it with ``.render()``).
+        """
+        steps = self._schedule_steps(plan, schedule, parallelism)
+        executor = self._executor(
+            aggregates, None, parallelism, memory_budget_bytes
+        )
+        return executor.lower(plan, steps)
+
     def run(
         self,
-        queries: list[frozenset],
+        queries: list[frozenset[str]],
         options: OptimizerOptions | None = None,
     ) -> RunOutcome:
         """Optimize then execute in one call."""
@@ -258,7 +314,7 @@ class Session:
         execution = self.execute(optimization.plan)
         return RunOutcome(optimization, execution)
 
-    def run_naive(self, queries: list[frozenset]) -> ExecutionResult:
+    def run_naive(self, queries: list[frozenset[str]]) -> ExecutionResult:
         """Execute the naive plan (the baseline of every experiment)."""
         return self.execute(naive_plan(self.base_table, queries))
 

@@ -35,7 +35,7 @@ class GroupingSetsOutcome:
     """What the commercial-style execution did and produced."""
 
     strategy: str  # 'shared_sort' or 'union_groupby'
-    results: dict[frozenset, Table] = field(default_factory=dict)
+    results: dict[frozenset[str], Table] = field(default_factory=dict)
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
     wall_seconds: float = 0.0
     pipelines: int = 0
@@ -61,7 +61,7 @@ class CommercialGroupingSetsPlanner:
         self._base_table = base_table
         self._threshold = sharing_threshold
 
-    def choose_strategy(self, queries: list[frozenset]) -> str:
+    def choose_strategy(self, queries: list[frozenset[str]]) -> str:
         """Shared sorts when containment is plentiful, else union plan."""
         unique = list(set(queries))
         pipelines = build_pipelines(unique)
@@ -70,7 +70,7 @@ class CommercialGroupingSetsPlanner:
             return "shared_sort"
         return "union_groupby"
 
-    def union_plan(self, queries: list[frozenset]) -> LogicalPlan:
+    def union_plan(self, queries: list[frozenset[str]]) -> LogicalPlan:
         """The SC-scenario plan: GROUP BY all columns, then each query
         from that materialized result."""
         unique = sorted(set(queries), key=lambda q: (len(q), sorted(q)))
@@ -87,7 +87,7 @@ class CommercialGroupingSetsPlanner:
 
     def execute(
         self,
-        queries: list[frozenset],
+        queries: list[frozenset[str]],
         aggregates: list[AggregateSpec] | None = None,
     ) -> GroupingSetsOutcome:
         """Plan and execute the GROUPING SETS query."""

@@ -1,7 +1,9 @@
 """The naive baseline: every query computed directly from R.
 
 This is the plan every speedup in the paper's Table 3 and Figures 9-14
-is measured against, and the starting point of the GB-MQO search.
+is measured against, and the starting point of the GB-MQO search.  Like
+every other execution path it runs through the physical layer: the
+naive logical plan lowers to one Scan + grouping pipeline per query.
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ from repro.engine.executor import ExecutionResult, PlanExecutor
 
 
 def naive_logical_plan(
-    relation: str, queries: list[frozenset]
+    relation: str, queries: list[frozenset[str]]
 ) -> LogicalPlan:
     """The naive logical plan (re-exported for symmetry with planners)."""
     return naive_plan(relation, queries)
@@ -22,7 +24,7 @@ def naive_logical_plan(
 def run_naive(
     catalog: Catalog,
     base_table: str,
-    queries: list[frozenset],
+    queries: list[frozenset[str]],
     aggregates: list[AggregateSpec] | None = None,
     use_indexes: bool = True,
 ) -> ExecutionResult:

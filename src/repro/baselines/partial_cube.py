@@ -53,7 +53,7 @@ class GreedyLatticePlanner:
         self._coster = coster
         self._max_columns = max_columns
 
-    def build_lattice(self, queries: list[frozenset]) -> list[frozenset]:
+    def build_lattice(self, queries: list[frozenset[str]]) -> list[frozenset[str]]:
         """Every non-empty subset of the union of the input columns."""
         universe = sorted(frozenset().union(*queries))
         if len(universe) > self._max_columns:
@@ -61,14 +61,14 @@ class GreedyLatticePlanner:
                 f"{len(universe)} columns imply a lattice of "
                 f"2^{len(universe)} nodes"
             )
-        lattice: list[frozenset] = []
+        lattice: list[frozenset[str]] = []
         for size in range(1, len(universe) + 1):
             for subset in combinations(universe, size):
                 lattice.append(frozenset(subset))
         return lattice
 
     def optimize(
-        self, relation: str, queries: list[frozenset]
+        self, relation: str, queries: list[frozenset[str]]
     ) -> GreedyLatticeResult:
         """Greedy view selection over the fully constructed lattice."""
         queries = sorted(set(queries), key=lambda q: (len(q), sorted(q)))
@@ -80,7 +80,7 @@ class GreedyLatticePlanner:
         nodes = {q: PlanNode(q) for q in lattice}
         query_set = set(queries)
 
-        def answer_cost(query: frozenset, sources: set[frozenset]) -> float:
+        def answer_cost(query: frozenset[str], sources: set[frozenset[str]]) -> float:
             best = self._coster.edge_cost(None, nodes[query], False)
             for source in sources:
                 if query < source:
@@ -92,14 +92,14 @@ class GreedyLatticePlanner:
                     )
             return best
 
-        def total_cost(sources: set[frozenset]) -> float:
+        def total_cost(sources: set[frozenset[str]]) -> float:
             cost = sum(
                 self._coster.edge_cost(None, nodes[s], True) for s in sources
             )
             cost += sum(answer_cost(q, sources) for q in query_set - sources)
             return cost
 
-        materialized: set[frozenset] = set()
+        materialized: set[frozenset[str]] = set()
         current = total_cost(materialized)
         improved = True
         while improved:
@@ -131,13 +131,13 @@ class GreedyLatticePlanner:
     def _to_plan(
         self,
         relation: str,
-        queries: list[frozenset],
-        materialized: set[frozenset],
+        queries: list[frozenset[str]],
+        materialized: set[frozenset[str]],
     ) -> LogicalPlan:
         """Assemble the depth-1 materialization into a logical plan."""
         nodes = {q: PlanNode(q) for q in set(queries) | materialized}
-        assigned: dict[frozenset, list[frozenset]] = {m: [] for m in materialized}
-        direct: list[frozenset] = []
+        assigned: dict[frozenset[str], list[frozenset[str]]] = {m: [] for m in materialized}
+        direct: list[frozenset[str]] = []
         for query in queries:
             if query in materialized:
                 continue

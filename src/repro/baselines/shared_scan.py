@@ -12,6 +12,12 @@ batches whose total estimated group count stays under the budget, one
 full scan per batch.  With an unbounded budget this is the strongest
 possible single-pass executor; with a tight one it degrades toward the
 naive plan, which is exactly the trade-off the experiments probe.
+
+Execution runs through the physical layer: the batches are lowered
+(:func:`repro.physical.lowering.lower_shared_scan`) to one pipeline per
+batch — a *charged* ``Scan`` feeding one cost-chosen grouping operator
+per query — and interpreted by the same
+:class:`~repro.engine.executor.PlanExecutor` that runs optimizer plans.
 """
 
 from __future__ import annotations
@@ -19,8 +25,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.engine.aggregation import AggregateSpec, group_by
+from repro.engine.aggregation import AggregateSpec
 from repro.engine.catalog import Catalog
+from repro.engine.executor import PlanExecutor
 from repro.engine.metrics import ExecutionMetrics
 from repro.engine.table import Table
 from repro.stats.cardinality import CardinalityEstimator
@@ -30,18 +37,18 @@ from repro.stats.cardinality import CardinalityEstimator
 class SharedScanResult:
     """Outcome of a shared-scan execution."""
 
-    results: dict = field(default_factory=dict)
+    results: dict[frozenset[str], Table] = field(default_factory=dict)
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
     passes: int = 0
-    batches: list = field(default_factory=list)
+    batches: list[list[frozenset[str]]] = field(default_factory=list)
     wall_seconds: float = 0.0
 
 
 def plan_batches(
-    queries: list[frozenset],
+    queries: list[frozenset[str]],
     estimator: CardinalityEstimator,
     group_budget: float,
-) -> list[list[frozenset]]:
+) -> list[list[frozenset[str]]]:
     """Greedy first-fit batching under the aggregation-state budget.
 
     Queries are considered largest-state first; each batch's total
@@ -52,7 +59,7 @@ def plan_batches(
     ordered = sorted(
         set(queries), key=lambda q: (-estimator.rows(q), sorted(q))
     )
-    batches: list[list[frozenset]] = []
+    batches: list[list[frozenset[str]]] = []
     loads: list[float] = []
     for query in ordered:
         size = estimator.rows(query)
@@ -72,7 +79,7 @@ def plan_batches(
 def shared_scan(
     catalog: Catalog,
     base_table: str,
-    queries: list[frozenset],
+    queries: list[frozenset[str]],
     estimator: CardinalityEstimator,
     group_budget: float = float("inf"),
     aggregates: list[AggregateSpec] | None = None,
@@ -83,29 +90,30 @@ def shared_scan(
         catalog: catalog holding the base relation.
         base_table: name of R.
         queries: the input query set.
-        estimator: group-count source for batching.
+        estimator: group-count source for batching (and the lowering's
+            hash-vs-sort choice per aggregation state).
         group_budget: max total estimated groups held at once.
         aggregates: aggregate list (COUNT(*) by default).
     """
-    aggregates = aggregates or [AggregateSpec.count_star("cnt")]
-    table: Table = catalog.get(base_table)
+    from repro.analysis.physrules import check_physical_plan
+    from repro.physical.lowering import lower_shared_scan
+
     result = SharedScanResult()
     started = time.perf_counter()
     result.batches = plan_batches(queries, estimator, group_budget)
-    for batch in result.batches:
-        # One row-store pass feeds every aggregation state in the batch.
-        result.metrics.record_scan(table.num_rows, table.touch())
-        result.passes += 1
-        for query in batch:
-            # Aggregation CPU per state; the scan was already charged.
-            result.results[query] = group_by(
-                table,
-                sorted(query),
-                aggregates,
-                name="shared_" + "_".join(sorted(query)),
-                metrics=None,
-            )
-            result.metrics.record_group_by()
-            result.metrics.queries_executed += 1
+    physical = lower_shared_scan(
+        result.batches,
+        catalog=catalog,
+        base_table=base_table,
+        estimator=estimator,
+    )
+    check_physical_plan(physical)
+    executor = PlanExecutor(
+        catalog, base_table, aggregates=aggregates, use_indexes=False
+    )
+    execution = executor.execute_physical(physical)
+    result.results = execution.results
+    result.metrics = execution.metrics
+    result.passes = len(result.batches)
     result.wall_seconds = time.perf_counter() - started
     return result

@@ -54,7 +54,7 @@ WORKLOAD_BUILDERS = {
 }
 
 
-def _build_session(args) -> tuple[Session, list[frozenset]]:
+def _build_session(args) -> tuple[Session, list[frozenset[str]]]:
     table = load_csv(args.csv, max_rows=args.max_rows)
     table.build_dictionaries()
     session = Session.for_table(table, statistics=args.statistics)
@@ -157,7 +157,9 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def _obs_session(args, tracer: Tracer | None = None) -> tuple[Session, list[frozenset]]:
+def _obs_session(
+    args, tracer: Tracer | None = None
+) -> tuple[Session, list[frozenset[str]]]:
     """Session + workload for the observability subcommands.
 
     The source is either a CSV path (like the other subcommands) or one
@@ -217,6 +219,13 @@ def cmd_explain(args) -> int:
     else:
         print("\n-- EXPLAIN --")
         print(session.explain(result.plan).render())
+    print("\n-- PHYSICAL --")
+    physical = session.lower(
+        result.plan,
+        parallelism=args.parallelism,
+        memory_budget_bytes=args.memory_budget_bytes,
+    )
+    print(physical.render())
     return 0
 
 
@@ -231,7 +240,9 @@ def cmd_trace(args) -> int:
     with tracer.span("trace", source=str(source), queries=len(queries)):
         result = session.optimize(queries)
         execution = session.execute(
-            result.plan, parallelism=args.parallelism
+            result.plan,
+            parallelism=args.parallelism,
+            memory_budget_bytes=args.memory_budget_bytes,
         )
     print(render_span_tree(tracer.spans))
     if result.telemetry is not None:
@@ -290,20 +301,20 @@ class _JsonStatsEstimator:
     base row count (the same shape the optimizer tests use).
     """
 
-    def __init__(self, payload: dict) -> None:
+    def __init__(self, payload: dict[str, object]) -> None:
         self.base_rows = int(payload.get("base_rows", 1))
         self._singles = {
             str(k): float(v)
             for k, v in dict(payload.get("columns", {})).items()
         }
 
-    def rows(self, columns: frozenset) -> float:
+    def rows(self, columns: frozenset[str]) -> float:
         product = 1.0
         for column in columns:
             product *= self._singles.get(column, 1.0)
         return min(product, float(self.base_rows))
 
-    def row_width(self, columns: frozenset) -> float:
+    def row_width(self, columns: frozenset[str]) -> float:
         return 8.0 * len(columns) + 8.0
 
 
@@ -359,6 +370,19 @@ def cmd_lint_code(args) -> int:
         return 2
     print(format_report(diagnostics))
     return 1 if diagnostics else 0
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for --parallelism: reject values below 1 up front."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"parallelism must be >= 1, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -454,9 +478,16 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--parallelism",
-            type=int,
+            type=_positive_int,
             default=1,
             help="worker threads for wavefront plan execution (default 1)",
+        )
+        p.add_argument(
+            "--memory-budget-bytes",
+            type=float,
+            default=None,
+            help="plan-wide transient-memory budget for the physical "
+            "lowering (groupings over it sort or partition)",
         )
 
     explain = sub.add_parser(

@@ -46,7 +46,7 @@ class PlanCoster:
     def __init__(self, model: CostModel, tracer: Tracer | None = None) -> None:
         self._model = model
         self._tracer = tracer or NOOP_TRACER
-        self._edge_cache: dict[tuple, float] = {}
+        self._edge_cache: dict[tuple[object, ...], float] = {}
         self._subplan_cache: dict[SubPlan, float] = {}
         #: Number of distinct costing requests sent to the model — the
         #: paper's "number of calls to the query optimizer".

@@ -14,6 +14,9 @@ wall-clock seconds; only relative costs matter for plan choice.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Iterable
+
 from repro.core.plan import NodeKind, PlanNode
 from repro.engine.catalog import Catalog
 from repro.stats.cardinality import CardinalityEstimator
@@ -41,6 +44,39 @@ HASH_DOMAIN_LIMIT = float(1 << 22)
 #: re-rank: ~35 ns/row).  Together with the write cost this is what
 #: makes materializing a near-table-sized intermediate unattractive.
 ENCODE_CPU = 300.0
+#: CPU cost per composite-domain slot the hash (bincount) regime pays up
+#: front: allocating and scanning the radix-sized count/lookup tables.
+#: This is what makes hashing lose to sorting on small inputs with a
+#: large key domain — the regime-dependent tradeoff the physical planner
+#: exploits when lowering to HashGroupBy vs SortGroupBy.
+BINCOUNT_INIT_CPU = 2.0
+#: Bytes of transient state per composite-domain slot in the hash
+#: regime (the int64 count table plus the int64 rank-lookup table).
+HASH_SLOT_BYTES = 16.0
+#: Bytes of transient state per input row in the sort regime (the int64
+#: composite-code array plus its sorted copy).
+SORT_ROW_BYTES = 16.0
+
+
+@dataclass(frozen=True)
+class GroupingChoice:
+    """The costed hash-vs-sort decision for one physical grouping.
+
+    Attributes:
+        strategy: ``'hash'`` or ``'sort'`` — the cheaper feasible regime.
+        hash_cost: estimated CPU of the bincount regime (``inf`` when the
+            estimated composite domain exceeds the engine's hash limit).
+        sort_cost: estimated CPU of the sort regime (always feasible).
+        domain: estimated composite key domain (product of per-column
+            cardinalities).
+        mem_bytes: transient memory estimate of the chosen regime.
+    """
+
+    strategy: str
+    hash_cost: float
+    sort_cost: float
+    domain: float
+    mem_bytes: float
 
 
 class EngineCostModel:
@@ -83,7 +119,7 @@ class EngineCostModel:
 
     # -- scan model -----------------------------------------------------------
 
-    def _group_cpu(self, columns: frozenset) -> float:
+    def _group_cpu(self, columns: frozenset[str]) -> float:
         """Per-row CPU to group on ``columns``.
 
         Mirrors the engine's two aggregation regimes: when the product
@@ -99,7 +135,7 @@ class EngineCostModel:
                 return cpu + SORT_GROUP_CPU
         return cpu
 
-    def _base_scan_cost(self, columns: frozenset) -> float:
+    def _base_scan_cost(self, columns: frozenset[str]) -> float:
         """Cheapest way to read R and group it on ``columns``.
 
         A direct scan reads *full rows* (row-store semantics); a
@@ -131,13 +167,13 @@ class EngineCostModel:
         return min(direct, via_index)
 
     def _intermediate_scan_cost(
-        self, parent: PlanNode, child_columns: frozenset
+        self, parent: PlanNode, child_columns: frozenset[str]
     ) -> float:
         rows = self._estimator.rows(parent.columns)
         width = self._estimator.row_width(parent.columns)
         return rows * (width * READ_BYTE + self._group_cpu(child_columns))
 
-    def _materialize_cost(self, columns: frozenset) -> float:
+    def _materialize_cost(self, columns: frozenset[str]) -> float:
         rows = self._estimator.rows(columns)
         width = self._estimator.row_width(columns)
         self.whatif.create(columns, rows, width)
@@ -146,10 +182,80 @@ class EngineCostModel:
         encode = rows * len(columns) * ENCODE_CPU
         return rows * width * WRITE_BYTE + encode
 
+    # -- per-physical-operator costs --------------------------------------------
+    #
+    # The ``repro.physical`` lowering pass consumes these to annotate
+    # each PhysicalOperator with an estimated cost/memory footprint and
+    # to choose the grouping regime per node.  They decompose the same
+    # constants the logical edge costs above are built from.
+
+    def grouping_domain(self, columns: Iterable[str]) -> float:
+        """Estimated composite key domain: product of per-column counts."""
+        domain = 1.0
+        for column in columns:
+            domain *= max(self._estimator.rows(frozenset([column])), 1.0)
+        return domain
+
+    def grouping_choice(
+        self, columns: Iterable[str], input_rows: float
+    ) -> GroupingChoice:
+        """Cost the hash and sort regimes for one grouping and pick one.
+
+        Hashing pays per-row work plus a domain-proportional setup
+        (allocating/scanning the bincount tables) and is infeasible
+        beyond the engine's hash domain limit; sorting pays a heavy
+        per-row cost but is domain-independent.  Small inputs over wide
+        domains therefore sort; large inputs over narrow domains hash.
+        """
+        columns = list(columns)
+        ncols = max(len(columns), 1)
+        domain = self.grouping_domain(columns)
+        rows = max(float(input_rows), 0.0)
+        sort_cost = rows * (ncols * HASH_CPU + SORT_GROUP_CPU)
+        if domain > HASH_DOMAIN_LIMIT:
+            hash_cost = float("inf")
+        else:
+            hash_cost = rows * ncols * HASH_CPU + domain * BINCOUNT_INIT_CPU
+        strategy = "hash" if hash_cost <= sort_cost else "sort"
+        mem = (
+            domain * HASH_SLOT_BYTES + rows * 8.0
+            if strategy == "hash"
+            else rows * SORT_ROW_BYTES
+        )
+        return GroupingChoice(strategy, hash_cost, sort_cost, domain, mem)
+
+    def scan_op_cost(self, rows: float, width: float) -> float:
+        """Cost of one physical scan: ``rows * width`` bytes read."""
+        return float(rows) * float(width) * READ_BYTE
+
+    def grouping_op_cost(
+        self,
+        strategy: str,
+        input_rows: float,
+        columns: Iterable[str],
+        input_sorted: bool = False,
+    ) -> float:
+        """CPU cost of one physical grouping operator.
+
+        ``input_sorted`` models the index-prefix boundary-detection path
+        (no hashing or sorting at all); otherwise ``strategy`` selects
+        which regime's cost from :meth:`grouping_choice` applies.
+        """
+        columns = list(columns)
+        rows = max(float(input_rows), 0.0)
+        if input_sorted:
+            return rows * max(len(columns), 1) * SORTED_CPU
+        choice = self.grouping_choice(columns, rows)
+        return choice.hash_cost if strategy == "hash" else choice.sort_cost
+
+    def materialize_op_cost(self, columns: frozenset[str]) -> float:
+        """Cost of one physical Materialize (write + key encode)."""
+        return self._materialize_cost(columns)
+
     # -- public API -------------------------------------------------------------
 
     def group_by_cost(
-        self, parent: PlanNode | None, columns: frozenset, materialize: bool
+        self, parent: PlanNode | None, columns: frozenset[str], materialize: bool
     ) -> float:
         """Cost of one plain Group By on ``columns`` from ``parent``."""
         if parent is None:
@@ -193,7 +299,7 @@ class EngineCostModel:
         return cost
 
 
-def _proper_subsets(columns: frozenset) -> list[frozenset]:
+def _proper_subsets(columns: frozenset[str]) -> list[frozenset[str]]:
     """Non-empty proper subsets of a column set (small sets only)."""
     ordered = sorted(columns)
     n = len(ordered)

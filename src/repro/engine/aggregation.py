@@ -257,10 +257,20 @@ def combined_group_codes(
     return inverse.astype(np.int64, copy=False), first, len(first)
 
 
+#: Grouping strategies :func:`group_by` accepts.  ``'auto'`` and
+#: ``'hash'`` prefer the bincount regime when the composite domain fits
+#: (the actual-radix guard falls back to the sort regime otherwise);
+#: ``'sort'`` forces the sort regime regardless of domain.  Both regimes
+#: produce bit-identical result tables, so a physical plan may force
+#: either without changing results or metrics.
+GROUPING_STRATEGIES = ("auto", "hash", "sort")
+
+
 def _hash_group(
     table: Table,
     keys: Sequence[str],
     dictionaries: "DictionaryCache | None" = None,
+    force_sort: bool = False,
 ) -> GroupStructure:
     """Grouping over dictionary codes, in two regimes.
 
@@ -270,7 +280,10 @@ def _hash_group(
     dictionaries — the sort-aggregation regime — which never gathers
     representative rows.  Per-column codes come through ``dictionaries``
     (the plan-wide cache) when one is threaded in, so repeated plan
-    nodes never re-factorize a shared column.
+    nodes never re-factorize a shared column.  ``force_sort`` pins the
+    sort regime (the physical planner's ``SortGroupBy`` operator); group
+    numbering follows sorted composite-code order either way, so the two
+    regimes return bit-identical structures.
     """
     n = table.num_rows
     if n == 0:
@@ -285,7 +298,7 @@ def _hash_group(
         )
         ids = inverse.astype(np.int64, copy=False)
         return GroupStructure(len(first), None, lambda: ids, first=first)
-    if radix <= BINCOUNT_LIMIT:
+    if not force_sort and radix <= BINCOUNT_LIMIT:
         counts_all = np.bincount(combined, minlength=radix)
         occupied = np.flatnonzero(counts_all)
         counts = counts_all[occupied]
@@ -404,6 +417,7 @@ def group_by(
     metrics: ExecutionMetrics | None = None,
     assume_sorted: bool = False,
     dictionaries: "DictionaryCache | None" = None,
+    strategy: str = "auto",
 ) -> Table:
     """Execute ``SELECT keys, aggs FROM table GROUP BY keys``.
 
@@ -418,11 +432,18 @@ def group_by(
         dictionaries: plan-wide :class:`~repro.engine.dictcache.
             DictionaryCache`; when given, key columns are factorized at
             most once per plan execution across all Group By nodes.
+        strategy: one of :data:`GROUPING_STRATEGIES`.  ``'sort'`` forces
+            the sort regime; ``'hash'``/``'auto'`` prefer the bincount
+            regime, guarded by the actual composite radix.  Ignored on
+            the ``assume_sorted`` path.  The result table is identical
+            under every strategy.
 
     Returns:
         A table with the key columns followed by one column per aggregate.
     """
     keys = list(keys)
+    if strategy not in GROUPING_STRATEGIES:
+        raise SchemaError(f"unknown grouping strategy {strategy!r}")
     if metrics is not None:
         # Row-store scan semantics: reading any part of a stored table
         # reads full rows.  ``touch`` pays the memory traffic for real.
@@ -437,7 +458,9 @@ def group_by(
         first = np.zeros(1 if n else 0, dtype=np.int64)
         structure = GroupStructure(1 if n else 0, None, lambda: zeros, first=first)
     else:
-        structure = _hash_group(table, keys, dictionaries)
+        structure = _hash_group(
+            table, keys, dictionaries, force_sort=strategy == "sort"
+        )
     columns: dict[str, np.ndarray] = {}
     for key in keys:
         columns[key] = structure.key_column(table, key)

@@ -1,49 +1,70 @@
-"""Executing a GB-MQO logical plan against the engine (Section 5.2).
+"""Executing a GB-MQO plan against the engine (Section 5.2).
 
-The client-side strategy of the paper: walk the logical plan, run one
-Group By query per node — ``SELECT v, COUNT(*) INTO T_v FROM T_u GROUP
-BY v`` for intermediate nodes, streaming for leaves — re-aggregating
-with SUM(cnt) whenever the source is a materialized intermediate rather
-than the base relation, and dropping temporary tables per the schedule.
+The executor is an *interpreter of physical plans*.  A logical plan is
+first lowered (:func:`repro.physical.lowering.lower`) onto a
+:class:`~repro.physical.plan.PhysicalPlan` — typed operators (``Scan``,
+``IndexScan``, ``HashGroupBy``, ``SortGroupBy``, ``Reaggregate``,
+``CubeExpand``, ``RollupExpand``, ``Materialize``, ``DropTemp``)
+grouped into pipelines — verified against the physical invariant rules
+(PV012+), and then interpreted.  The hash-vs-sort regime of every
+grouping is chosen at lowering time from the cost model and column
+statistics; per-operator memory estimates are threaded against an
+optional plan-wide budget, falling back to the engine's partitioned
+execution when a grouping's transient state would not fit.
 
 Execution comes in two modes:
 
-* **serial** (the default): a linear schedule of compute/drop steps,
-  exactly the paper's client-side script.
-* **parallel wavefront** (``PlanExecutor(parallelism=k)``): the plan's
-  dependency graph is cut into waves (:func:`repro.core.scheduling.
-  wavefront_schedule`); steps within a wave share no dependencies and
-  run on a thread pool (numpy releases the GIL inside the reductions).
-  Results are bit-identical to serial execution and the merged
-  :class:`ExecutionMetrics` totals are equal — each step aggregates
-  into its own metrics object, folded back in deterministic schedule
-  order.
+* **serial** (the default): pipelines run in order — exactly the
+  paper's client-side script of Group By / DROP statements.
+* **parallel wavefront** (``PlanExecutor(parallelism=k)``): the lowered
+  plan carries dependency waves; pipelines within a wave share no
+  dependencies and run on a thread pool (numpy releases the GIL inside
+  the reductions).  Results are bit-identical to serial execution and
+  the merged :class:`ExecutionMetrics` totals are equal — each pipeline
+  aggregates into its own metrics object, folded back in deterministic
+  schedule order.
 
 Either way, one plan-wide
 :class:`~repro.engine.dictcache.DictionaryCache` is threaded through
 every Group By, so each base-relation column is factorized at most once
-per plan execution no matter how many nodes touch it.
+per plan execution no matter how many operators touch it.
 
 CUBE and ROLLUP nodes (Section 7.1) execute exactly the strategy their
 cost model assumes: the full Group By is computed from the node's
-parent, and every other covered grouping is computed from that result.
+parent, and every other covered grouping is computed from that result
+by the expand operators.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.core.plan import LogicalPlan, NodeKind, PlanNode
-from repro.core.scheduling import Step, depth_first_schedule, wavefront_schedule
+from repro.core.plan import LogicalPlan, PlanNode
+from repro.core.scheduling import Step
 from repro.engine.aggregation import AggregateSpec, group_by, reaggregate_specs
 from repro.engine.catalog import Catalog
 from repro.engine.dictcache import DictionaryCache
+from repro.engine.indexes import Index
+from repro.engine.join import union_all
 from repro.engine.metrics import ExecutionMetrics
+from repro.engine.partitioned_cube import partition_by_values
 from repro.engine.table import Table
 from repro.engine.types import EngineError
 from repro.obs.clock import monotonic
 from repro.obs.tracer import NOOP_TRACER, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.physical.plan import (
+        CubeExpand,
+        DropTemp,
+        GroupingOperator,
+        PhysicalPipeline,
+        PhysicalPlan,
+        RollupExpand,
+    )
+    from repro.stats.cardinality import CardinalityEstimator
 
 
 class ExecutionError(EngineError):
@@ -66,7 +87,7 @@ class ExecutionResult:
         wall_seconds: elapsed wall-clock time.
     """
 
-    results: dict[frozenset, Table] = field(default_factory=dict)
+    results: dict[frozenset[str], Table] = field(default_factory=dict)
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
     peak_temp_bytes: int = 0
     wall_seconds: float = 0.0
@@ -85,18 +106,27 @@ class PlanExecutor:
             when one exists and is narrower than the referenced columns.
         tracer: span tracer; when enabled, the run is wrapped in an
             ``execute.plan`` span with one ``execute.node`` child per
-            compute step carrying actual rows/bytes (grouped under
-            ``execute.wave`` spans in parallel mode).  Tracing is
-            read-only: results and deterministic counters are identical
-            with it on or off.
+            pipeline carrying actual rows/bytes (grouped under
+            ``execute.wave`` spans in parallel mode) and one
+            ``execute.<operator>`` grandchild per physical operator.
+            Tracing is read-only: results and deterministic counters
+            are identical with it on or off.
         parallelism: worker threads for wavefront execution.  1 (the
-            default) executes the given linear schedule serially; >= 2
-            executes the dependency-graph waves concurrently, producing
-            bit-identical tables and equal metrics totals.
+            default) executes the lowered linear schedule serially;
+            >= 2 executes the dependency-graph waves concurrently,
+            producing bit-identical tables and equal metrics totals.
         dictionary_cache: a shared plan-wide dictionary cache.  By
             default each ``execute`` call builds a fresh one; serving
             workloads that re-execute plans over the same base relation
             can pass one in to keep encodes warm across runs.
+        estimator: column statistics for the lowering's hash-vs-sort
+            choice and per-operator estimates; None lowers structurally
+            (hash-preferred groupings, zero estimates) — execution is
+            bit-identical either way.
+        memory_budget_bytes: plan-wide transient-memory budget; grouping
+            operators whose estimate exceeds it are demoted to the sort
+            regime and then to partitioned execution.  Requires an
+            estimator to have any effect.
     """
 
     def __init__(
@@ -108,6 +138,8 @@ class PlanExecutor:
         tracer: Tracer | None = None,
         parallelism: int = 1,
         dictionary_cache: DictionaryCache | None = None,
+        estimator: "CardinalityEstimator | None" = None,
+        memory_budget_bytes: float | None = None,
     ) -> None:
         if parallelism < 1:
             raise ExecutionError("parallelism must be >= 1")
@@ -119,28 +151,70 @@ class PlanExecutor:
         self._tracer = tracer or NOOP_TRACER
         self._parallelism = parallelism
         self._dictionary_cache = dictionary_cache
+        self._estimator = estimator
+        self._memory_budget_bytes = memory_budget_bytes
 
-    def execute(
+    # -- lowering -----------------------------------------------------------------
+
+    def lower(
         self, plan: LogicalPlan, steps: list[Step] | None = None
-    ) -> ExecutionResult:
-        """Execute ``plan`` following ``steps`` (depth-first when None).
+    ) -> "PhysicalPlan":
+        """Lower ``plan`` to the physical plan this executor would run.
 
-        With ``parallelism >= 2`` the plan's wavefront schedule is used
-        and ``steps`` must be None — a caller-supplied linear order has
-        no meaning once independent steps run concurrently.
+        Serial executors honor ``steps`` (depth-first when None);
+        parallel executors build the wavefront schedule and reject an
+        explicit linear order.
         """
-        if plan.relation != self._base_table:
-            raise ExecutionError(
-                f"plan targets {plan.relation!r}, executor is bound to "
-                f"{self._base_table!r}"
-            )
+        from repro.physical.lowering import lower as lower_plan
+        from repro.physical.plan import PhysicalPlanError
+
         parallel = self._parallelism > 1
         if parallel and steps is not None:
             raise ExecutionError(
                 "parallel execution schedules itself; pass steps=None"
             )
-        if steps is None and not parallel:
-            steps = depth_first_schedule(plan)
+        try:
+            return lower_plan(
+                plan,
+                catalog=self._catalog,
+                base_table=self._base_table,
+                aggregates=self._aggregates,
+                use_indexes=self._use_indexes,
+                estimator=self._estimator,
+                memory_budget_bytes=self._memory_budget_bytes,
+                steps=steps,
+                parallel=parallel,
+            )
+        except PhysicalPlanError as exc:
+            # An inconsistent schedule is the caller's error, reported
+            # with the executor's exception type as it always was.
+            raise ExecutionError(str(exc)) from exc
+
+    def execute(
+        self, plan: LogicalPlan, steps: list[Step] | None = None
+    ) -> ExecutionResult:
+        """Lower ``plan``, verify the physical plan, and interpret it.
+
+        With ``parallelism >= 2`` the plan's wavefront schedule is used
+        and ``steps`` must be None — a caller-supplied linear order has
+        no meaning once independent pipelines run concurrently.
+        """
+        from repro.analysis.physrules import check_physical_plan
+
+        if plan.relation != self._base_table:
+            raise ExecutionError(
+                f"plan targets {plan.relation!r}, executor is bound to "
+                f"{self._base_table!r}"
+            )
+        physical = self.lower(plan, steps)
+        check_physical_plan(physical)
+        return self.execute_physical(physical)
+
+    # -- physical interpretation -------------------------------------------------
+
+    def execute_physical(self, physical: "PhysicalPlan") -> ExecutionResult:
+        """Interpret a lowered physical plan (serial or wavefront)."""
+        parallel = physical.waves is not None
         dictionaries = self._dictionary_cache or DictionaryCache()
         result = ExecutionResult()
         started = monotonic()
@@ -148,18 +222,22 @@ class PlanExecutor:
         current_before = self._catalog.current_temp_bytes
         with self._tracer.span(
             "execute.plan",
-            relation=plan.relation,
-            steps=plan.node_count() if parallel else len(steps),
+            relation=physical.relation,
+            steps=(
+                len(physical.compute_pipelines())
+                if parallel
+                else len(physical.pipelines)
+            ),
             parallelism=self._parallelism,
         ) as plan_span:
             try:
                 if parallel:
                     local_peak = self._execute_wavefront(
-                        plan, result, dictionaries, current_before
+                        physical, result, dictionaries, current_before
                     )
                 else:
                     local_peak = self._execute_serial(
-                        steps, result, dictionaries, current_before
+                        physical, result, dictionaries, current_before
                     )
             finally:
                 # Leave no temporaries behind even on failure.
@@ -184,281 +262,439 @@ class PlanExecutor:
 
     def _execute_serial(
         self,
-        steps: list[Step],
+        physical: "PhysicalPlan",
         result: ExecutionResult,
         dictionaries: DictionaryCache,
         current_before: int,
     ) -> int:
         local_peak = current_before
-        for step in steps:
-            if step.action == "compute":
-                self._run_compute(step, result, dictionaries)
-            elif step.action == "drop":
-                self._catalog.drop_temp(temp_name_for(step.node))
+        for pipeline in physical.pipelines:
+            if pipeline.is_compute:
+                self._run_pipeline(physical, pipeline, result, dictionaries)
             else:
-                raise ExecutionError(f"unknown step action {step.action!r}")
+                self._run_drop(physical, pipeline)
             local_peak = max(local_peak, self._catalog.current_temp_bytes)
         return local_peak
 
     def _execute_wavefront(
         self,
-        plan: LogicalPlan,
+        physical: "PhysicalPlan",
         result: ExecutionResult,
         dictionaries: DictionaryCache,
         current_before: int,
     ) -> int:
-        """Run the dependency-graph schedule on a thread pool.
+        """Run the dependency-wave schedule on a thread pool.
 
-        Each compute step aggregates into its own ``ExecutionMetrics``;
-        after every wave the per-step metrics fold into the result in
-        schedule order, so totals are deterministic and equal to a
+        Each pipeline aggregates into its own ``ExecutionMetrics``;
+        after every wave the per-pipeline metrics fold into the result
+        in schedule order, so totals are deterministic and equal to a
         serial run's regardless of thread interleaving.
         """
         local_peak = current_before
-        waves = wavefront_schedule(plan)
+        assert physical.waves is not None
         with ThreadPoolExecutor(
             max_workers=self._parallelism,
             thread_name_prefix="repro-wave",
         ) as pool:
-            for wave in waves:
+            for wave in physical.waves:
                 with self._tracer.span(
-                    "execute.wave", index=wave.index, nodes=len(wave.steps)
+                    "execute.wave",
+                    index=wave.index,
+                    nodes=len(wave.pipelines),
                 ) as wave_span:
                     futures = [
                         pool.submit(
-                            self._run_compute_isolated,
-                            step,
+                            self._run_pipeline_isolated,
+                            physical,
+                            physical.pipelines[index],
                             result,
                             dictionaries,
                             wave_span,
                         )
-                        for step in wave.steps
+                        for index in wave.pipelines
                     ]
-                    step_metrics = [future.result() for future in futures]
+                    wave_metrics = [future.result() for future in futures]
                 # Fold in deterministic schedule order, not completion
                 # order; peak temp storage is maximal right before the
                 # wave's drops run.
-                for metrics in step_metrics:
+                for metrics in wave_metrics:
                     result.metrics.merge_in(metrics)
                 local_peak = max(
                     local_peak, self._catalog.current_temp_bytes
                 )
-                for drop in wave.drops:
-                    self._catalog.drop_temp(temp_name_for(drop.node))
+                for index in wave.drops:
+                    self._run_drop(physical, physical.pipelines[index])
         return local_peak
 
-    def _run_compute_isolated(
+    def _run_pipeline_isolated(
         self,
-        step: Step,
+        physical: "PhysicalPlan",
+        pipeline: "PhysicalPipeline",
         result: ExecutionResult,
         dictionaries: DictionaryCache,
         wave_span: Span,
     ) -> ExecutionMetrics:
         metrics = ExecutionMetrics()
-        self._run_compute(
-            step, result, dictionaries, metrics=metrics, parent_span=wave_span
+        self._run_pipeline(
+            physical,
+            pipeline,
+            result,
+            dictionaries,
+            metrics=metrics,
+            parent_span=wave_span,
         )
         return metrics
 
-    # -- internals ---------------------------------------------------------------
+    # -- pipeline interpreter ------------------------------------------------------
 
-    def _source_table(self, parent: PlanNode | None) -> tuple[Table, bool]:
-        """Resolve a step's source: (table, is_base_relation)."""
-        if parent is None:
-            return self._catalog.get(self._base_table), True
-        name = temp_name_for(parent)
-        if name not in self._catalog:
-            raise ExecutionError(
-                f"intermediate {parent.describe()} was not materialized "
-                "before its children"
-            )
-        return self._catalog.get(name), False
+    def _run_drop(
+        self, physical: "PhysicalPlan", pipeline: "PhysicalPipeline"
+    ) -> None:
+        from repro.physical.plan import DropTemp as DropTempOp
 
-    def _aggregates_for(self, from_base: bool) -> list[AggregateSpec]:
-        return self._aggregates if from_base else self._reaggregates
+        for op_id in pipeline.ops:
+            op = physical.op(op_id)
+            if not isinstance(op, DropTempOp):
+                raise ExecutionError(
+                    f"drop pipeline contains non-drop operator {op.describe()}"
+                )
+            with self._tracer.span("execute.drop_temp", temp=op.temp):
+                self._catalog.drop_temp(op.temp)
 
-    def _group(
+    def _run_pipeline(
         self,
-        source: Table,
-        from_base: bool,
-        columns: frozenset,
-        name: str,
-        metrics: ExecutionMetrics,
-        dictionaries: DictionaryCache | None = None,
-    ) -> Table:
-        """One Group By, answered from an index when profitable."""
-        keys = sorted(columns)
-        aggregates = self._aggregates_for(from_base)
-        if from_base and self._use_indexes:
-            needed = set(keys) | {
-                a.column for a in aggregates if a.column is not None
-            }
-            index = self._catalog.find_covering_index(self._base_table, needed)
-            if index is not None and not index.clustered:
-                # A covering index scan reads the narrow projection
-                # instead of full base rows.
-                if index.scan_width(keys, source) <= source.row_width():
-                    return index.group_by(
-                        keys,
-                        aggregates,
-                        name,
-                        metrics,
-                        dictionaries=dictionaries,
-                    )
-        return group_by(
-            source,
-            keys,
-            aggregates,
-            name=name,
-            metrics=metrics,
-            dictionaries=dictionaries,
-        )
-
-    def _run_compute(
-        self,
-        step: Step,
+        physical: "PhysicalPlan",
+        pipeline: "PhysicalPipeline",
         result: ExecutionResult,
         dictionaries: DictionaryCache,
         metrics: ExecutionMetrics | None = None,
         parent_span: Span | None = None,
     ) -> None:
-        source, from_base = self._source_table(step.parent)
         metrics = result.metrics if metrics is None else metrics
-        metrics.queries_executed += 1
         bytes_before = metrics.work
+        attrs = dict(
+            node=pipeline.label,
+            source=pipeline.source,
+            kind=pipeline.kind,
+            materialized=pipeline.materialized,
+        )
         if parent_span is None:
-            span_context = self._tracer.span(
-                "execute.node",
-                node=step.node.describe(),
-                source=step.parent.describe() if step.parent else "R",
-                kind=step.node.kind.value,
-                materialized=step.materialize,
-            )
+            span_context = self._tracer.span("execute.node", **attrs)
         else:
             span_context = self._tracer.span_under(
-                parent_span,
-                "execute.node",
-                node=step.node.describe(),
-                source=step.parent.describe() if step.parent else "R",
-                kind=step.node.kind.value,
-                materialized=step.materialize,
+                parent_span, "execute.node", **attrs
             )
         with span_context as span:
-            if step.node.kind is NodeKind.GROUP_BY:
-                table = self._group(
-                    source,
-                    from_base,
-                    step.node.columns,
-                    temp_name_for(step.node),
-                    metrics,
-                    dictionaries,
+            # Intra-pipeline data flow: operator id -> produced input
+            # (a Table, or the Index an IndexScan resolved).  Data from
+            # other pipelines is only reachable through the catalog.
+            env: dict[int, Table | Index] = {}
+            rows_out: int | None = None
+            for op_id in pipeline.ops:
+                produced = self._run_op(
+                    physical, physical.op(op_id), env, result, metrics,
+                    dictionaries, span,
                 )
-                if step.materialize:
-                    self._catalog.materialize_temp(table)
-                    # Dictionary-encode the temp's key columns now so child
-                    # queries aggregate over dense codes (the cost model
-                    # charges this encode work as part of materialization).
-                    for column in sorted(step.node.columns):
-                        table.dictionary(column)
-                    metrics.record_materialize(
-                        table.num_rows, table.size_bytes()
-                    )
-                if step.required:
-                    result.results[step.node.columns] = table
-                rows_out = table.num_rows
-            elif step.node.kind is NodeKind.CUBE:
-                rows_out = self._run_cube(
-                    step, source, from_base, result, metrics, dictionaries
-                )
-            else:
-                rows_out = self._run_rollup(
-                    step, source, from_base, result, metrics, dictionaries
-                )
-            # Attribute this step's bytes for per-node observability.
+                if rows_out is None and produced is not None:
+                    rows_out = produced
             step_bytes = metrics.work - bytes_before
-            metrics.per_query_bytes[step.node.describe()] = step_bytes
-            span.set(rows_out=rows_out, bytes=step_bytes)
+            if pipeline.attribute:
+                metrics.per_query_bytes[pipeline.label] = step_bytes
+            span.set(rows_out=rows_out or 0, bytes=step_bytes)
 
-    def _run_cube(
+    def _run_op(
         self,
-        step: Step,
-        source: Table,
-        from_base: bool,
+        physical: "PhysicalPlan",
+        op,
+        env: dict[int, Table | Index],
         result: ExecutionResult,
         metrics: ExecutionMetrics,
         dictionaries: DictionaryCache,
-    ) -> int:
-        """CUBE node: full Group By from the parent, then each covered
-        grouping from that result.  Returns the top grouping's rows."""
-        top = self._group(
+        node_span: Span,
+    ) -> int | None:
+        """Interpret one operator; returns grouping output rows (else None)."""
+        from repro.physical import plan as phys
+
+        with self._tracer.span_under(
+            node_span, f"execute.{op.op_name}", op_id=op.op_id
+        ) as op_span:
+            if isinstance(op, phys.Scan):
+                table = self._catalog.get(op.table)
+                if op.charge:
+                    metrics.record_scan(table.num_rows, table.touch())
+                env[op.op_id] = table
+                op_span.set(rows_out=table.num_rows)
+                return None
+            if isinstance(op, phys.IndexScan):
+                index = self._resolve_index(op.table, op.index)
+                env[op.op_id] = index
+                op_span.set(sorted_prefix=op.sorted_prefix)
+                return None
+            if isinstance(op, phys.Reaggregate):
+                table = self._run_reaggregate(physical, op, metrics,
+                                              dictionaries)
+            elif isinstance(op, phys.GroupingOperator):
+                table = self._run_grouping(op, env, metrics, dictionaries)
+            elif isinstance(op, phys.CubeExpand):
+                self._run_cube_expand(op, env, result, metrics, dictionaries)
+                op_span.set(queries=len(op.queries))
+                return None
+            elif isinstance(op, phys.RollupExpand):
+                self._run_rollup_expand(
+                    op, env, result, metrics, dictionaries
+                )
+                op_span.set(prefixes=len(op.order) - 1)
+                return None
+            elif isinstance(op, phys.Materialize):
+                self._run_materialize(physical, op, env, metrics)
+                return None
+            elif isinstance(op, phys.DropTemp):
+                self._catalog.drop_temp(op.temp)
+                return None
+            else:
+                raise ExecutionError(
+                    f"unknown physical operator {op.op_name!r}"
+                )
+            # Shared tail of the grouping operators.
+            env[op.op_id] = table
+            if op.query is not None:
+                result.results[frozenset(op.query)] = table
+            op_span.set(rows_out=table.num_rows)
+            return table.num_rows
+
+    # -- operator implementations --------------------------------------------------
+
+    def _resolve_index(self, table: str, name: str) -> Index:
+        for index in self._catalog.indexes_on(table):
+            if index.name == name:
+                return index
+        raise ExecutionError(f"index {name!r} on {table!r} does not exist")
+
+    def _run_grouping(
+        self,
+        op: "GroupingOperator",
+        env: dict[int, Table | Index],
+        metrics: ExecutionMetrics,
+        dictionaries: DictionaryCache,
+    ) -> Table:
+        """HashGroupBy / SortGroupBy over an access path in ``env``."""
+        from repro.physical.plan import SortGroupBy
+
+        metrics.queries_executed += 1
+        strategy = "sort" if isinstance(op, SortGroupBy) else "hash"
+        source = env.get(op.source)
+        if source is None:
+            raise ExecutionError(
+                f"operator {op.op_id} reads missing pipeline input "
+                f"{op.source}"
+            )
+        keys = list(op.keys)
+        if isinstance(source, Index):
+            return source.group_by(
+                keys,
+                self._aggregates,
+                op.output,
+                metrics,
+                dictionaries=dictionaries,
+                strategy=strategy,
+            )
+        if op.partitions > 1:
+            return self._group_partitioned(
+                source, op, self._aggregates, metrics, dictionaries, strategy
+            )
+        if op.charge_scan:
+            return group_by(
+                source,
+                keys,
+                self._aggregates,
+                name=op.output,
+                metrics=metrics,
+                dictionaries=dictionaries,
+                strategy=strategy,
+            )
+        # An upstream charged Scan already paid for the pass over the
+        # input (shared scan); meter only the grouping itself.
+        table = group_by(
             source,
-            from_base,
-            step.node.columns,
-            temp_name_for(step.node),
-            metrics,
-            dictionaries,
+            keys,
+            self._aggregates,
+            name=op.output,
+            metrics=None,
+            dictionaries=dictionaries,
+            strategy=strategy,
         )
+        metrics.record_group_by()
+        return table
+
+    def _run_reaggregate(
+        self,
+        physical: "PhysicalPlan",
+        op,
+        metrics: ExecutionMetrics,
+        dictionaries: DictionaryCache,
+    ) -> Table:
+        """Group a materialized intermediate, resolved via the catalog."""
+        from repro.physical.plan import Materialize as MaterializeOp
+
+        metrics.queries_executed += 1
+        producer = physical.op(op.source)
+        if not isinstance(producer, MaterializeOp):
+            raise ExecutionError(
+                f"reaggregate {op.op_id} does not read a Materialize"
+            )
+        if producer.output not in self._catalog:
+            raise ExecutionError(
+                f"intermediate {producer.output!r} was not materialized "
+                "before its consumers"
+            )
+        source = self._catalog.get(producer.output)
+        if op.partitions > 1:
+            return self._group_partitioned(
+                source, op, self._reaggregates, metrics, dictionaries,
+                op.strategy,
+            )
+        return group_by(
+            source,
+            list(op.keys),
+            self._reaggregates,
+            name=op.output,
+            metrics=metrics,
+            dictionaries=dictionaries,
+            strategy=op.strategy,
+        )
+
+    def _group_partitioned(
+        self,
+        source: Table,
+        op: "GroupingOperator",
+        aggregates: list[AggregateSpec],
+        metrics: ExecutionMetrics,
+        dictionaries: DictionaryCache,
+        strategy: str,
+    ) -> Table:
+        """Budget fallback: group per value-range partition, concatenate.
+
+        Partitions split on contiguous dictionary-code ranges of the
+        first (alphabetically lowest) key, so each partition's sorted
+        group order is a contiguous slice of the global order and the
+        concatenation is bit-identical to the unpartitioned result.
+        The scan and grouping are metered once for the whole input —
+        the partitioned pass still reads each row once.
+        """
+        keys = list(op.keys)
+        if op.charge_scan:
+            metrics.record_scan(source.num_rows, source.touch())
+        metrics.record_group_by()
+        parts = partition_by_values(source, keys[0], op.partitions)
+        if len(parts) <= 1:
+            return group_by(
+                source,
+                keys,
+                aggregates,
+                name=op.output,
+                metrics=None,
+                dictionaries=dictionaries,
+                strategy=strategy,
+            )
+        grouped = [
+            group_by(
+                part,
+                keys,
+                aggregates,
+                name=f"{op.output}_part{i}",
+                metrics=None,
+                dictionaries=None,
+                strategy=strategy,
+            )
+            for i, part in enumerate(parts)
+        ]
+        return union_all(grouped, name=op.output)
+
+    def _run_cube_expand(
+        self,
+        op: "CubeExpand",
+        env: dict[int, Table | Index],
+        result: ExecutionResult,
+        metrics: ExecutionMetrics,
+        dictionaries: DictionaryCache,
+    ) -> None:
+        """Answer every covered CUBE grouping from the top's result."""
+        top = env.get(op.source)
+        if not isinstance(top, Table):
+            raise ExecutionError(
+                f"cube expand {op.op_id} reads missing pipeline input "
+                f"{op.source}"
+            )
         top.build_dictionaries()
-        if step.node.columns in step.direct_answers:
-            result.results[step.node.columns] = top
-        for query in sorted(step.direct_answers, key=sorted):
-            if query == step.node.columns:
-                continue
+        for query in op.queries:
             metrics.queries_executed += 1
             table = group_by(
                 top,
-                sorted(query),
+                list(query),
                 self._reaggregates,
-                name="cube_" + "_".join(sorted(query)),
+                name="cube_" + "_".join(query),
                 metrics=metrics,
                 dictionaries=dictionaries,
             )
-            result.results[query] = table
-        return top.num_rows
+            result.results[frozenset(query)] = table
 
-    def _run_rollup(
+    def _run_rollup_expand(
         self,
-        step: Step,
-        source: Table,
-        from_base: bool,
+        op: "RollupExpand",
+        env: dict[int, Table | Index],
         result: ExecutionResult,
         metrics: ExecutionMetrics,
         dictionaries: DictionaryCache,
-    ) -> int:
-        """ROLLUP node: successive prefixes, each from the previous.
-        Returns the full grouping's rows."""
-        order = step.node.rollup_order
-        current = self._group(
-            source,
-            from_base,
-            step.node.columns,
-            temp_name_for(step.node),
-            metrics,
-            dictionaries,
-        )
-        top_rows = current.num_rows
-        if step.node.columns in step.direct_answers:
-            result.results[step.node.columns] = current
-        for i in range(len(order) - 1, 0, -1):
-            prefix = frozenset(order[:i])
+    ) -> None:
+        """Answer ROLLUP prefixes successively, each from the previous."""
+        current = env.get(op.source)
+        if not isinstance(current, Table):
+            raise ExecutionError(
+                f"rollup expand {op.op_id} reads missing pipeline input "
+                f"{op.source}"
+            )
+        answers = set(op.answers)
+        for i in range(len(op.order) - 1, 0, -1):
+            prefix = list(op.order[:i])
             metrics.queries_executed += 1
             current = group_by(
                 current,
-                list(order[:i]),
+                prefix,
                 self._reaggregates,
-                name="rollup_" + "_".join(order[:i]),
+                name="rollup_" + "_".join(prefix),
                 metrics=metrics,
                 dictionaries=dictionaries,
             )
-            if prefix in step.direct_answers:
-                result.results[prefix] = current
-        return top_rows
+            if tuple(sorted(prefix)) in answers:
+                result.results[frozenset(prefix)] = current
+
+    def _run_materialize(
+        self,
+        physical: "PhysicalPlan",
+        op,
+        env: dict[int, Table | Index],
+        metrics: ExecutionMetrics,
+    ) -> None:
+        table = env.get(op.source)
+        if not isinstance(table, Table):
+            raise ExecutionError(
+                f"materialize {op.op_id} reads missing pipeline input "
+                f"{op.source}"
+            )
+        self._catalog.materialize_temp(table)
+        # Dictionary-encode the temp's key columns now so child queries
+        # aggregate over dense codes (the cost model charges this encode
+        # work as part of materialization).
+        producer = physical.op(op.source)
+        for column in getattr(producer, "keys", ()):
+            table.dictionary(column)
+        metrics.record_materialize(table.num_rows, table.size_bytes())
 
 
 def execute_naive(
     catalog: Catalog,
     base_table: str,
-    queries: list[frozenset],
+    queries: list[frozenset[str]],
     aggregates: list[AggregateSpec] | None = None,
     use_indexes: bool = True,
 ) -> ExecutionResult:

@@ -37,7 +37,7 @@ def cube(
     aggregates: Sequence[AggregateSpec] | None = None,
     metrics: ExecutionMetrics | None = None,
     include_grand_total: bool = False,
-) -> dict[frozenset, Table]:
+) -> dict[frozenset[str], Table]:
     """Compute the full datacube over ``columns``.
 
     Every non-empty subset (plus the grand total when requested) is
@@ -52,7 +52,7 @@ def cube(
         raise SchemaError("cube over more than 16 columns is not practical")
     aggregates = _default_aggregates(aggregates)
     reaggregates = reaggregate_specs(aggregates)
-    results: dict[frozenset, Table] = {}
+    results: dict[frozenset[str], Table] = {}
     top = frozenset(columns)
     results[top] = group_by(
         table, sorted(top), aggregates, name="cube_top", metrics=metrics
@@ -82,7 +82,7 @@ def rollup(
     order: Sequence[str],
     aggregates: Sequence[AggregateSpec] | None = None,
     metrics: ExecutionMetrics | None = None,
-) -> dict[frozenset, Table]:
+) -> dict[frozenset[str], Table]:
     """Compute ROLLUP(order): every non-empty prefix of ``order``.
 
     Each prefix is computed from the next longer one, so the input is
@@ -94,7 +94,7 @@ def rollup(
         raise SchemaError("rollup needs at least one column")
     aggregates = _default_aggregates(aggregates)
     reaggregates = reaggregate_specs(aggregates)
-    results: dict[frozenset, Table] = {}
+    results: dict[frozenset[str], Table] = {}
     current = group_by(
         table, order, aggregates, name="rollup_top", metrics=metrics
     )
@@ -117,7 +117,7 @@ def grouping_sets(
     aggregates: Sequence[AggregateSpec] | None = None,
     metrics: ExecutionMetrics | None = None,
     strategy: str = "naive",
-) -> dict[frozenset, Table]:
+) -> dict[frozenset[str], Table]:
     """Compute an explicit list of groupings.
 
     Args:

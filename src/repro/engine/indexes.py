@@ -105,6 +105,7 @@ class Index:
         name: str,
         metrics: ExecutionMetrics | None = None,
         dictionaries=None,
+        strategy: str = "auto",
     ) -> Table:
         """Answer a Group By from the index projection.
 
@@ -113,6 +114,9 @@ class Index:
         is used (ordered aggregation, no hashing).  ``dictionaries`` is
         the executor's plan-wide dictionary cache, threaded through so
         repeated covering-index scans share the projection's encodes.
+        ``strategy`` forwards to :func:`~repro.engine.aggregation.
+        group_by` for non-prefix scans (the prefix path never hashes or
+        sorts at all).
         """
         if self._projection is None:
             raise SchemaError(
@@ -131,6 +135,7 @@ class Index:
             metrics=metrics,
             assume_sorted=sorted_path,
             dictionaries=dictionaries,
+            strategy=strategy,
         )
         if metrics is not None:
             metrics.index_scans += 1

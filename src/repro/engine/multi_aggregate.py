@@ -69,8 +69,10 @@ class PreparedWorkload:
         captures: query column set -> output column recipes.
     """
 
-    needs: dict = field(default_factory=dict)
-    captures: dict = field(default_factory=dict)
+    needs: dict[frozenset[str], dict[str, AggregateSpec]] = field(default_factory=dict)
+    captures: dict[frozenset[str], list[_CaptureColumn]] = field(
+        default_factory=dict
+    )
 
 
 def prepare_workload(queries: list[AggregateQuery]) -> PreparedWorkload:
@@ -107,9 +109,9 @@ def prepare_workload(queries: list[AggregateQuery]) -> PreparedWorkload:
     return prepared
 
 
-def _subtree_needs(subplan: SubPlan, prepared: PreparedWorkload) -> dict:
+def _subtree_needs(subplan: SubPlan, prepared: PreparedWorkload) -> dict[str, AggregateSpec]:
     """Union of canonical aggregates needed anywhere under ``subplan``."""
-    needs: dict = {}
+    needs: dict[str, AggregateSpec] = {}
     answered = subplan.answered_queries()
     for columns in answered:
         needs.update(prepared.needs.get(columns, {}))
@@ -159,7 +161,7 @@ def execute_multi_aggregate(
 class MultiAggregateResult:
     """Results and metrics of one multi-aggregate execution."""
 
-    results: dict = field(default_factory=dict)
+    results: dict[frozenset[str], Table] = field(default_factory=dict)
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
 
 
@@ -193,7 +195,7 @@ def _run_subtree(
 
 
 def _capture(
-    columns: frozenset,
+    columns: frozenset[str],
     table: Table,
     prepared: PreparedWorkload,
     result: MultiAggregateResult,

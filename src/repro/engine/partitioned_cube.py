@@ -64,7 +64,7 @@ def partitioned_cube(
     aggregates: Sequence[AggregateSpec] | None = None,
     metrics: ExecutionMetrics | None = None,
     _depth: int = 0,
-) -> dict[frozenset, Table]:
+) -> dict[frozenset[str], Table]:
     """Compute the full cube of ``columns`` within a memory budget.
 
     Args:
@@ -95,13 +95,13 @@ def partitioned_cube(
 
     # Groupings containing the partition attribute: per-partition cubes
     # restricted to those groupings, concatenated.
-    with_attribute: dict[frozenset, list[Table]] = {}
+    with_attribute: dict[frozenset[str], list[Table]] = {}
     for partition in partitions:
         local = cube(partition, columns, aggregates, metrics=metrics)
         for grouping, result in local.items():
             if attribute in grouping:
                 with_attribute.setdefault(grouping, []).append(result)
-    results: dict[frozenset, Table] = {
+    results: dict[frozenset[str], Table] = {
         grouping: union_all(parts, name="pcube_" + "_".join(sorted(grouping)))
         if len(parts) > 1
         else parts[0]

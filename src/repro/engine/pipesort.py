@@ -41,18 +41,18 @@ class Pipeline:
     grouping in the chain is a prefix of it.
     """
 
-    chain: list[frozenset] = field(default_factory=list)
+    chain: list[frozenset[str]] = field(default_factory=list)
 
     def sort_order(self) -> tuple[str, ...]:
         order: list[str] = []
-        covered: frozenset = frozenset()
+        covered: frozenset[str] = frozenset()
         for grouping in reversed(self.chain):  # smallest first
             order.extend(sorted(grouping - covered))
             covered = grouping
         return tuple(order)
 
 
-def build_pipelines(queries: list[frozenset]) -> list[Pipeline]:
+def build_pipelines(queries: list[frozenset[str]]) -> list[Pipeline]:
     """Partition groupings into inclusion chains with minimal sorts.
 
     Groupings are processed in decreasing size; at each size level the
@@ -97,7 +97,7 @@ def build_pipelines(queries: list[frozenset]) -> list[Pipeline]:
 class SharedSortResult:
     """Results of a PipeSort execution."""
 
-    results: dict[frozenset, Table] = field(default_factory=dict)
+    results: dict[frozenset[str], Table] = field(default_factory=dict)
     pipelines: list[Pipeline] = field(default_factory=list)
     sorts_performed: int = 0
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
@@ -105,7 +105,7 @@ class SharedSortResult:
 
 def pipesort(
     table: Table,
-    queries: list[frozenset],
+    queries: list[frozenset[str]],
     aggregates: list[AggregateSpec] | None = None,
     metrics: ExecutionMetrics | None = None,
 ) -> SharedSortResult:
@@ -167,16 +167,16 @@ def _sort_by_codes(table: Table, order: tuple[str, ...]) -> Table:
 
 def pipehash(
     table: Table,
-    queries: list[frozenset],
+    queries: list[frozenset[str]],
     aggregates: list[AggregateSpec] | None = None,
     metrics: ExecutionMetrics | None = None,
-) -> dict[frozenset, Table]:
+) -> dict[frozenset[str], Table]:
     """Hash-based sharing: compute each grouping from its smallest
     strict superset among the groupings already computed."""
     aggregates = aggregates or [AggregateSpec.count_star("cnt")]
     reaggregates = reaggregate_specs(aggregates)
     metrics = metrics or ExecutionMetrics()
-    results: dict[frozenset, Table] = {}
+    results: dict[frozenset[str], Table] = {}
     for query in sorted(set(queries), key=lambda q: (-len(q), sorted(q))):
         supersets = [q for q in results if query < q]
         if supersets:

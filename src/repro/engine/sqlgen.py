@@ -69,7 +69,7 @@ def plan_to_sql(
     return [step_to_sql(step, plan.relation) for step in steps]
 
 
-def grouping_sets_sql(relation: str, queries: list[frozenset]) -> str:
+def grouping_sets_sql(relation: str, queries: list[frozenset[str]]) -> str:
     """The single GROUPING SETS statement equivalent to the input S."""
     sets = ", ".join(
         "(" + ", ".join(sorted(q)) + ")"

@@ -136,7 +136,7 @@ class ParsedQuery:
     grouping_style: str = "grouping sets"  # or 'cube' / 'rollup' / 'plain'
     having: tuple[Predicate, ...] = ()
 
-    def queries(self) -> list[frozenset]:
+    def queries(self) -> list[frozenset[str]]:
         """The input set S for the optimizer."""
         return [frozenset(s) for s in self.grouping_sets]
 

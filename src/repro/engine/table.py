@@ -172,13 +172,13 @@ class Table:
             columns = {col: np.array([], dtype=np.int64) for col in column_names}
         return cls(name, columns)
 
-    def to_rows(self, columns: Sequence[str] | None = None) -> list[tuple]:
+    def to_rows(self, columns: Sequence[str] | None = None) -> list[tuple[object, ...]]:
         """Materialize rows as python tuples (tests/examples only)."""
         names = self.column_names if columns is None else tuple(columns)
         arrays = [self[c] for c in names]
         return [tuple(a[i].item() for a in arrays) for i in range(self._num_rows)]
 
-    def iter_rows(self) -> Iterator[tuple]:
+    def iter_rows(self) -> Iterator[tuple[object, ...]]:
         """Iterate rows as tuples (tests/examples only)."""
         return iter(self.to_rows())
 

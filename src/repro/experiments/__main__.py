@@ -54,7 +54,7 @@ ALL_EXPERIMENTS = (
 )
 
 
-def run_all(fast: bool = True, stream=None) -> list:
+def run_all(fast: bool = True, stream=None) -> list[ExperimentResult]:
     """Run every experiment; return the ExperimentResult list."""
     stream = stream or sys.stdout
     results = []

@@ -137,7 +137,7 @@ def make_session(
 
 def run_comparison(
     session: Session,
-    queries: list[frozenset],
+    queries: list[frozenset[str]],
     options: OptimizerOptions | None = None,
     repeats: int = 1,
     keep_results: bool = False,
@@ -180,7 +180,7 @@ def run_comparison(
 
 
 def verify_results_match(
-    comparison: Comparison, queries: list[frozenset]
+    comparison: Comparison, queries: list[frozenset[str]]
 ) -> None:
     """Assert the plan produced exactly the naive results (used by tests)."""
     for query in set(map(frozenset, queries)):

@@ -51,7 +51,7 @@ class ExperimentResult:
     experiment_id: str
     title: str
     headers: tuple[str, ...]
-    rows: list[tuple] = field(default_factory=list)
+    rows: list[tuple[object, ...]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
     def render(self) -> str:
@@ -64,7 +64,7 @@ class ExperimentResult:
             parts.append(f"note: {note}")
         return "\n".join(parts)
 
-    def column(self, header: str) -> list:
+    def column(self, header: str) -> list[object]:
         """Extract one column by header name (for assertions in tests)."""
         index = self.headers.index(header)
         return [row[index] for row in self.rows]

@@ -41,7 +41,7 @@ class XRTree:
     def is_leaf(self) -> bool:
         return self.index is not None
 
-    def relations(self) -> frozenset:
+    def relations(self) -> frozenset[int]:
         if self.is_leaf:
             return frozenset([self.index])
         assert self.left is not None and self.right is not None
@@ -66,14 +66,14 @@ class CrossProductInstance:
     def column_name(self, index: int) -> str:
         return f"c{index}"
 
-    def queries(self) -> list[frozenset]:
+    def queries(self) -> list[frozenset[str]]:
         """The mapped GB-MQO input: all single-column Group Bys."""
         return [
             frozenset([self.column_name(i)])
             for i in range(len(self.cardinalities))
         ]
 
-    def product(self, relations: frozenset) -> int:
+    def product(self, relations: frozenset[int]) -> int:
         result = 1
         for index in relations:
             result *= self.cardinalities[index]
@@ -102,13 +102,13 @@ class IndependentEstimator:
             rows *= card
         return rows
 
-    def rows(self, columns: frozenset) -> float:
+    def rows(self, columns: frozenset[str]) -> float:
         product = 1.0
         for column in columns:
             product *= self._card_of[column]
         return product
 
-    def row_width(self, columns: frozenset) -> float:
+    def row_width(self, columns: frozenset[str]) -> float:
         return 8.0 * len(columns) + 8.0
 
 

@@ -1,0 +1,429 @@
+"""The physical plan model: typed operators, pipelines, and waves.
+
+A :class:`PhysicalPlan` is the executable form of a logical GB-MQO
+plan: a DAG of :class:`PhysicalOperator` nodes grouped into
+*pipelines*.  Operators inside one pipeline pass their result directly
+to the next operator (one worker executes a pipeline start to finish);
+data crossing pipeline boundaries always goes through a
+:class:`Materialize` into the catalog and is released by a matching
+:class:`DropTemp` — the invariant the physical verifier rules (PV012+)
+enforce.
+
+Operators reference their input by operator id (``source``), ids are
+positions in :attr:`PhysicalPlan.operators`, and every edge points
+backwards (``source < op_id``), so a well-formed plan is acyclic by
+construction.  The serial execution order is the pipeline order;
+:attr:`PhysicalPlan.waves` optionally groups the same pipelines into
+dependency waves for the parallel executor.
+
+Every operator carries the lowering pass's estimates — output rows,
+operator cost, transient memory — which EXPLAIN renders and the
+memory-budget check consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Iterator
+
+from repro.core.plan import PlanError
+
+
+class PhysicalPlanError(PlanError):
+    """A physical plan was malformed or referenced unknown operators."""
+
+
+@dataclass(frozen=True, kw_only=True)
+class PhysicalOperator:
+    """Base of every physical operator.
+
+    Args:
+        op_id: position of this operator in the owning plan.
+        est_rows: estimated output rows (0 when no estimator was given).
+        est_cost: estimated operator cost in cost-model units.
+        est_mem_bytes: estimated transient memory of the operator.
+    """
+
+    op_id: int
+    est_rows: float = 0.0
+    est_cost: float = 0.0
+    est_mem_bytes: float = 0.0
+
+    #: Stable operator name; also the suffix of the operator's span
+    #: (``execute.<op_name>``) and its serialized ``"op"`` tag.
+    op_name: ClassVar[str] = "op"
+
+    def inputs(self) -> tuple[int, ...]:
+        """Operator ids this operator reads from (inside its pipeline)."""
+        return ()
+
+    def describe(self) -> str:
+        return self.op_name
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible form (tuples become lists)."""
+        payload: dict[str, object] = {"op": self.op_name}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            payload[field.name] = _jsonable(value)
+        return payload
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True, kw_only=True)
+class Scan(PhysicalOperator):
+    """Access path: read a named table from the catalog.
+
+    ``charge`` scans meter their bytes against the run's metrics (the
+    shared-scan baseline's one-scan-per-batch accounting); uncharged
+    scans are pure source resolution — the downstream grouping operator
+    meters the read, matching row-store scan semantics.
+    """
+
+    table: str
+    charge: bool = False
+
+    op_name: ClassVar[str] = "scan"
+
+    def describe(self) -> str:
+        charged = " (charged)" if self.charge else ""
+        return f"Scan {self.table}{charged}"
+
+
+@dataclass(frozen=True, kw_only=True)
+class IndexScan(PhysicalOperator):
+    """Access path: read a covering non-clustered index projection.
+
+    ``sorted_prefix`` marks that the requested keys are a prefix of the
+    index key, so the downstream grouping uses ordered boundary
+    detection instead of hashing or sorting.
+    """
+
+    table: str
+    index: str
+    sorted_prefix: bool = False
+
+    op_name: ClassVar[str] = "index_scan"
+
+    def describe(self) -> str:
+        suffix = " [sorted prefix]" if self.sorted_prefix else ""
+        return f"IndexScan {self.index} on {self.table}{suffix}"
+
+
+@dataclass(frozen=True, kw_only=True)
+class GroupingOperator(PhysicalOperator):
+    """Common shape of the grouping operators.
+
+    Args:
+        source: op id of the access path (or Materialize) feeding this.
+        keys: grouping columns, sorted.
+        output: name of the result table.
+        query: the required query this grouping answers directly, as a
+            sorted column tuple — None for purely intermediate results.
+        charge_scan: meter the input scan on this operator (the default
+            row-store semantics); False when an upstream charged
+            :class:`Scan` already paid for the pass (shared scan).
+        partitions: >1 executes the grouping per value-range partition
+            of the first key and concatenates — the out-of-memory
+            fallback when the estimate exceeds the plan budget.
+    """
+
+    source: int
+    keys: tuple[str, ...]
+    output: str
+    query: tuple[str, ...] | None = None
+    charge_scan: bool = True
+    partitions: int = 1
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.source,)
+
+    def _suffix(self) -> str:
+        parts = ""
+        if self.partitions > 1:
+            parts += f" x{self.partitions} partitions"
+        if self.query is not None:
+            parts += " [answers query]"
+        return parts
+
+
+@dataclass(frozen=True, kw_only=True)
+class HashGroupBy(GroupingOperator):
+    """Group via the bincount (hash) regime, guarded by actual radix."""
+
+    op_name: ClassVar[str] = "hash_group_by"
+
+    def describe(self) -> str:
+        return (
+            f"HashGroupBy ({','.join(self.keys)}) -> {self.output}"
+            + self._suffix()
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class SortGroupBy(GroupingOperator):
+    """Group via the sort regime (or ordered input boundary detection)."""
+
+    input_sorted: bool = False
+
+    op_name: ClassVar[str] = "sort_group_by"
+
+    def describe(self) -> str:
+        sorted_note = " [input sorted]" if self.input_sorted else ""
+        return (
+            f"SortGroupBy ({','.join(self.keys)}) -> {self.output}"
+            + sorted_note
+            + self._suffix()
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class Reaggregate(GroupingOperator):
+    """Group a materialized intermediate with re-aggregation specs.
+
+    ``source`` must be the :class:`Materialize` operator whose temp this
+    reads (resolved through the catalog at run time — the input lives in
+    an earlier pipeline, possibly executed by another worker).
+    """
+
+    strategy: str = "hash"
+
+    op_name: ClassVar[str] = "reaggregate"
+
+    def describe(self) -> str:
+        return (
+            f"Reaggregate ({','.join(self.keys)}) -> {self.output} "
+            f"[{self.strategy}]" + self._suffix()
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class CubeExpand(PhysicalOperator):
+    """Answer every covered CUBE grouping from the top grouping's result.
+
+    ``queries`` are the covered groupings (excluding the top), each a
+    sorted column tuple, in deterministic execution order.
+    """
+
+    source: int
+    queries: tuple[tuple[str, ...], ...]
+
+    op_name: ClassVar[str] = "cube_expand"
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"CubeExpand {len(self.queries)} covered groupings"
+
+
+@dataclass(frozen=True, kw_only=True)
+class RollupExpand(PhysicalOperator):
+    """Answer ROLLUP prefixes successively from the top grouping.
+
+    ``order`` is the rollup column order; ``answers`` the proper
+    prefixes (sorted column tuples) that are required queries.
+    """
+
+    source: int
+    order: tuple[str, ...]
+    answers: tuple[tuple[str, ...], ...]
+
+    op_name: ClassVar[str] = "rollup_expand"
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"RollupExpand {' > '.join(self.order)}"
+
+
+@dataclass(frozen=True, kw_only=True)
+class Materialize(PhysicalOperator):
+    """Spool a pipeline's grouping result into the catalog as a temp."""
+
+    source: int
+    output: str
+
+    op_name: ClassVar[str] = "materialize"
+
+    def inputs(self) -> tuple[int, ...]:
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"Materialize {self.output}"
+
+
+@dataclass(frozen=True, kw_only=True)
+class DropTemp(PhysicalOperator):
+    """Release a materialized temp once its last consumer has run."""
+
+    temp: str
+
+    op_name: ClassVar[str] = "drop_temp"
+
+    def describe(self) -> str:
+        return f"DropTemp {self.temp}"
+
+
+#: Serialization registry: operator tag -> operator class.
+OP_TYPES: dict[str, type[PhysicalOperator]] = {
+    cls.op_name: cls
+    for cls in (
+        Scan,
+        IndexScan,
+        HashGroupBy,
+        SortGroupBy,
+        Reaggregate,
+        CubeExpand,
+        RollupExpand,
+        Materialize,
+        DropTemp,
+    )
+}
+
+
+@dataclass(frozen=True)
+class PhysicalPipeline:
+    """A maximal chain of operators one worker runs start to finish.
+
+    Args:
+        ops: operator ids, in execution order.
+        label: the logical node this pipeline computes (span ``node``
+            attribute and per-query byte-attribution key).
+        kind: logical kind — ``group_by``/``cube``/``rollup`` for
+            compute pipelines, ``drop`` for temp releases, ``batch``
+            for shared-scan batches.
+        source: description of the input relation (``R`` or a parent
+            node), for spans and rendering.
+        materialized: whether the pipeline spools its result.
+        attribute: record the pipeline's byte delta under ``label`` in
+            ``ExecutionMetrics.per_query_bytes``.
+        depth: distance from the base relation (rendering indent).
+    """
+
+    ops: tuple[int, ...]
+    label: str
+    kind: str
+    source: str = "R"
+    materialized: bool = False
+    attribute: bool = True
+    depth: int = 0
+
+    @property
+    def is_compute(self) -> bool:
+        return self.kind != "drop"
+
+
+@dataclass(frozen=True)
+class PhysicalWave:
+    """One rank of the parallel schedule: independent pipelines.
+
+    ``pipelines``/``drops`` are indices into the owning plan's pipeline
+    tuple; drops run after every compute pipeline of the wave finishes.
+    """
+
+    index: int
+    pipelines: tuple[int, ...]
+    drops: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """A lowered, executable plan over one base relation.
+
+    Args:
+        relation: the base relation R.
+        operators: every operator; ids equal positions.
+        pipelines: serial execution order (compute and drop pipelines).
+        waves: optional parallel schedule over the same pipelines.
+        memory_budget_bytes: plan-wide transient-memory budget the
+            lowering honored, or None for unbounded.
+    """
+
+    relation: str
+    operators: tuple[PhysicalOperator, ...]
+    pipelines: tuple[PhysicalPipeline, ...]
+    waves: tuple[PhysicalWave, ...] | None = None
+    memory_budget_bytes: float | None = None
+
+    def __post_init__(self) -> None:
+        for position, op in enumerate(self.operators):
+            if op.op_id != position:
+                raise PhysicalPlanError(
+                    f"operator at position {position} carries id {op.op_id}"
+                )
+
+    def op(self, op_id: int) -> PhysicalOperator:
+        if not 0 <= op_id < len(self.operators):
+            raise PhysicalPlanError(f"unknown operator id {op_id}")
+        return self.operators[op_id]
+
+    def compute_pipelines(self) -> tuple[PhysicalPipeline, ...]:
+        return tuple(p for p in self.pipelines if p.is_compute)
+
+    def iter_ops(self) -> Iterator[PhysicalOperator]:
+        return iter(self.operators)
+
+    def grouping_ops(self) -> tuple[GroupingOperator, ...]:
+        return tuple(
+            op for op in self.operators if isinstance(op, GroupingOperator)
+        )
+
+    def render(self) -> str:
+        """Human-readable operator tree with per-operator estimates."""
+        mode = (
+            f"parallel ({len(self.waves)} waves)"
+            if self.waves is not None
+            else "serial"
+        )
+        budget = (
+            f" budget={_fmt(self.memory_budget_bytes)}B"
+            if self.memory_budget_bytes is not None
+            else ""
+        )
+        lines = [
+            f"physical plan: {self.relation}  "
+            f"ops={len(self.operators)} pipelines={len(self.pipelines)} "
+            f"mode={mode}{budget}"
+        ]
+        for pipeline in self.pipelines:
+            indent = "    " * pipeline.depth
+            if pipeline.kind == "drop":
+                op = self.op(pipeline.ops[0])
+                lines.append(f"{indent}{op.describe()}")
+                continue
+            lines.append(
+                f"{indent}{pipeline.label} FROM {pipeline.source} "
+                f"[{pipeline.kind}]"
+            )
+            for i, op_id in enumerate(pipeline.ops):
+                op = self.op(op_id)
+                branch = "└─" if i == len(pipeline.ops) - 1 else "├─"
+                lines.append(
+                    f"{indent}{branch} {op.describe()}{_estimates(op)}"
+                )
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _estimates(op: PhysicalOperator) -> str:
+    parts = []
+    if op.est_rows:
+        parts.append(f"rows≈{_fmt(op.est_rows)}")
+    if op.est_cost:
+        parts.append(f"cost≈{_fmt(op.est_cost)}")
+    if op.est_mem_bytes:
+        parts.append(f"mem≈{_fmt(op.est_mem_bytes)}B")
+    return "  (" + ", ".join(parts) + ")" if parts else ""

@@ -39,11 +39,11 @@ class CardinalityEstimator(Protocol):
         """Rows in the base relation R."""
         ...
 
-    def rows(self, columns: frozenset) -> float:
+    def rows(self, columns: frozenset[str]) -> float:
         """Estimated number of groups of GROUP BY ``columns`` on R."""
         ...
 
-    def row_width(self, columns: frozenset) -> float:
+    def row_width(self, columns: frozenset[str]) -> float:
         """Estimated bytes per row of the Group By result (keys + count)."""
         ...
 
@@ -95,7 +95,7 @@ class _WidthModel:
             for column in table.column_names
         }
 
-    def row_width(self, columns: frozenset) -> float:
+    def row_width(self, columns: frozenset[str]) -> float:
         return sum(self._widths[c] for c in columns) + COUNT_WIDTH
 
 
@@ -106,13 +106,13 @@ class ExactCardinalityEstimator:
         self._table = table
         self._codes = _CodesCache(table)
         self._widths = _WidthModel(table)
-        self._cache: dict[frozenset, float] = {}
+        self._cache: dict[frozenset[str], float] = {}
 
     @property
     def base_rows(self) -> int:
         return self._table.num_rows
 
-    def rows(self, columns: frozenset) -> float:
+    def rows(self, columns: frozenset[str]) -> float:
         columns = frozenset(columns)
         if not columns:
             return 1.0
@@ -121,7 +121,7 @@ class ExactCardinalityEstimator:
             self._cache[columns] = float(len(np.unique(combined)))
         return self._cache[columns]
 
-    def row_width(self, columns: frozenset) -> float:
+    def row_width(self, columns: frozenset[str]) -> float:
         return self._widths.row_width(frozenset(columns))
 
 
@@ -146,10 +146,10 @@ class SampledCardinalityEstimator:
         self._sampler = TableSampler(table, sample_rows=sample_rows, seed=seed)
         self._method = method
         self._widths = _WidthModel(table)
-        self._cache: dict[frozenset, float] = {}
+        self._cache: dict[frozenset[str], float] = {}
         self._sample_codes: _CodesCache | None = None
         #: Column sets for which a statistic was created, in order.
-        self.created_statistics: list[frozenset] = []
+        self.created_statistics: list[frozenset[str]] = []
         #: Total wall-clock seconds spent creating statistics.
         self.creation_seconds = 0.0
 
@@ -161,7 +161,7 @@ class SampledCardinalityEstimator:
     def sample_size(self) -> int:
         return self._sampler.sample().num_rows
 
-    def rows(self, columns: frozenset) -> float:
+    def rows(self, columns: frozenset[str]) -> float:
         columns = frozenset(columns)
         if not columns:
             return 1.0
@@ -174,10 +174,10 @@ class SampledCardinalityEstimator:
             self._cache[columns] = self._create_statistic(columns)
         return self._cache[columns]
 
-    def row_width(self, columns: frozenset) -> float:
+    def row_width(self, columns: frozenset[str]) -> float:
         return self._widths.row_width(frozenset(columns))
 
-    def _create_statistic(self, columns: frozenset) -> float:
+    def _create_statistic(self, columns: frozenset[str]) -> float:
         started = time.perf_counter()
         sample = self._sampler.sample()
         if self._sample_codes is None:

@@ -63,7 +63,7 @@ class StatisticsManager:
             self._column_stats[column] = exact_column_stats(self._table, column)
         return self._column_stats[column]
 
-    def ensure_statistics(self, column_sets: Iterable[frozenset]) -> None:
+    def ensure_statistics(self, column_sets: Iterable[frozenset[str]]) -> None:
         """Pre-create group cardinality statistics for ``column_sets``."""
         for columns in column_sets:
             self._estimator.rows(frozenset(columns))
@@ -74,7 +74,7 @@ class StatisticsManager:
             return self._estimator.creation_seconds
         return 0.0
 
-    def created_statistics(self) -> list[frozenset]:
+    def created_statistics(self) -> list[frozenset[str]]:
         if isinstance(self._estimator, SampledCardinalityEstimator):
             return list(self._estimator.created_statistics)
         return []

@@ -28,7 +28,7 @@ class HypotheticalTable:
         row_width: optimizer-estimated bytes per row (keys + count).
     """
 
-    columns: frozenset
+    columns: frozenset[str]
     est_rows: float
     row_width: float
 
@@ -55,11 +55,11 @@ class WhatIfRegistry:
     declarations were made (part of the optimization-cost accounting).
     """
 
-    _tables: dict[frozenset, HypotheticalTable] = field(default_factory=dict)
+    _tables: dict[frozenset[str], HypotheticalTable] = field(default_factory=dict)
     calls: int = 0
 
     def create(
-        self, columns: frozenset, est_rows: float, row_width: float
+        self, columns: frozenset[str], est_rows: float, row_width: float
     ) -> HypotheticalTable:
         columns = frozenset(columns)
         table = HypotheticalTable(columns, est_rows, row_width)
@@ -67,7 +67,7 @@ class WhatIfRegistry:
         self.calls += 1
         return table
 
-    def lookup(self, columns: frozenset) -> HypotheticalTable | None:
+    def lookup(self, columns: frozenset[str]) -> HypotheticalTable | None:
         return self._tables.get(frozenset(columns))
 
     def __len__(self) -> int:

@@ -19,17 +19,17 @@ import numpy as np
 from repro.engine.table import Table
 
 
-def single_column_queries(columns: Sequence[str]) -> list[frozenset]:
+def single_column_queries(columns: Sequence[str]) -> list[frozenset[str]]:
     """SC: one single-column Group By per column."""
     return [frozenset([column]) for column in columns]
 
 
-def two_column_queries(columns: Sequence[str]) -> list[frozenset]:
+def two_column_queries(columns: Sequence[str]) -> list[frozenset[str]]:
     """TC: every two-column Group By over ``columns``."""
     return [frozenset(pair) for pair in combinations(columns, 2)]
 
 
-def containment_workload(columns: Sequence[str]) -> list[frozenset]:
+def containment_workload(columns: Sequence[str]) -> list[frozenset[str]]:
     """CONT: all singletons plus all pairs of a small column family.
 
     With ``columns = (ship, commit, receipt)`` this is exactly the
@@ -40,7 +40,7 @@ def containment_workload(columns: Sequence[str]) -> list[frozenset]:
 
 def combi_workload(
     columns: Sequence[str], max_size: int
-) -> list[frozenset]:
+) -> list[frozenset[str]]:
     """The Combi operator's input (related work [15], Hinneburg et al.):
     every non-empty subset of ``columns`` up to ``max_size`` columns.
 
@@ -64,7 +64,7 @@ def random_subset_workloads(
     k: int,
     n_workloads: int,
     seed: int = 0,
-) -> list[list[frozenset]]:
+) -> list[list[frozenset[str]]]:
     """Section 6.3's Q0..Q9: ``n_workloads`` random k-column SC inputs.
 
     Each workload randomly chooses ``k`` of ``columns`` and asks for all

@@ -197,7 +197,7 @@ class TestBareGeneric:
         diagnostics = lint(source, path="repro/core/plan.py")
         assert "CL206" not in rules_fired(diagnostics)
 
-    def test_rule_scoped_to_core(self):
+    def test_rule_applies_repo_wide(self):
         source = """
         from __future__ import annotations
 
@@ -205,7 +205,7 @@ class TestBareGeneric:
             return 1.0
         """
         diagnostics = lint(source, path="repro/stats/cardinality.py")
-        assert "CL206" not in rules_fired(diagnostics)
+        assert "CL206" in rules_fired(diagnostics)
 
 
 class TestWallClock:

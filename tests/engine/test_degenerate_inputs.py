@@ -1,0 +1,126 @@
+"""Degenerate base tables: empty and single-row relations end to end.
+
+Every plan shape (GROUP_BY, CUBE, ROLLUP — flat and staged) must lower
+and execute over a zero-row and a one-row base relation, serially and
+in parallel, producing consistent schemas and metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import (
+    LogicalPlan,
+    NodeKind,
+    PlanNode,
+    SubPlan,
+    naive_plan,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.executor import PlanExecutor
+from repro.engine.table import Table
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+def empty_table() -> Table:
+    return Table(
+        "r",
+        {
+            "a": np.array([], dtype=np.int64),
+            "b": np.array([], dtype=np.int64),
+        },
+    )
+
+
+def one_row_table() -> Table:
+    return Table("r", {"a": [7], "b": [3]})
+
+
+def executor_for(table: Table, parallelism: int = 1) -> PlanExecutor:
+    catalog = Catalog()
+    catalog.add_table(table)
+    return PlanExecutor(catalog, "r", parallelism=parallelism)
+
+
+def group_by_plan():
+    return naive_plan("r", [fs("a"), fs("b")])
+
+
+def staged_plan():
+    children = (SubPlan.leaf(fs("a")), SubPlan.leaf(fs("b")))
+    root = SubPlan(PlanNode(fs("a", "b")), children, required=False)
+    return LogicalPlan("r", (root,), frozenset({fs("a"), fs("b")}))
+
+
+def cube_plan():
+    answers = frozenset([fs("a", "b"), fs("a"), fs("b")])
+    root = SubPlan(
+        PlanNode(fs("a", "b"), NodeKind.CUBE), (), True, answers
+    )
+    return LogicalPlan("r", (root,), answers)
+
+
+def rollup_plan():
+    answers = frozenset([fs("a", "b"), fs("a")])
+    root = SubPlan(
+        PlanNode(fs("a", "b"), NodeKind.ROLLUP, ("a", "b")),
+        (),
+        True,
+        answers,
+    )
+    return LogicalPlan("r", (root,), answers)
+
+
+PLANS = {
+    "group_by": group_by_plan,
+    "staged": staged_plan,
+    "cube": cube_plan,
+    "rollup": rollup_plan,
+}
+
+
+@pytest.mark.parametrize("make_table", [empty_table, one_row_table])
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("parallelism", [1, 2])
+class TestDegenerateInputs:
+    def test_shapes_and_metrics(self, make_table, plan_name, parallelism):
+        table = make_table()
+        plan = PLANS[plan_name]()
+        result = executor_for(table, parallelism).execute(plan)
+
+        assert set(result.results) == set(plan.required)
+        for query, answer in result.results.items():
+            assert set(answer.column_names) == set(query) | {"cnt"}
+            assert answer.num_rows == min(table.num_rows, 1) or (
+                table.num_rows == 0 and answer.num_rows == 0
+            )
+        if table.num_rows == 1:
+            for answer in result.results.values():
+                assert answer["cnt"][0] == 1
+        assert result.metrics.queries_executed >= len(plan.required)
+
+    def test_serial_parallel_identical(
+        self, make_table, plan_name, parallelism
+    ):
+        if parallelism == 1:
+            pytest.skip("comparison pair runs once, under parallelism=2")
+        plan = PLANS[plan_name]()
+        serial = executor_for(make_table(), 1).execute(plan)
+        parallel = executor_for(make_table(), parallelism).execute(plan)
+        assert set(serial.results) == set(parallel.results)
+        for query in serial.results:
+            a, b = serial.results[query], parallel.results[query]
+            assert a.column_names == b.column_names
+            assert a.num_rows == b.num_rows
+            for column in a.column_names:
+                np.testing.assert_array_equal(a[column], b[column])
+        assert serial.metrics.as_dict() == parallel.metrics.as_dict()
+
+    def test_temps_cleaned_up(self, make_table, plan_name, parallelism):
+        catalog = Catalog()
+        catalog.add_table(make_table())
+        executor = PlanExecutor(catalog, "r", parallelism=parallelism)
+        executor.execute(PLANS[plan_name]())
+        assert catalog.temp_names() == ()

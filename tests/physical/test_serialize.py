@@ -1,0 +1,94 @@
+"""Physical plan (de)serialization: round trips and corruption gates."""
+
+import json
+
+import pytest
+
+from repro.core.plan import PlanError, naive_plan
+from repro.core.serialize import (
+    PHYSICAL_FORMAT_VERSION,
+    physical_plan_from_dict,
+    physical_plan_from_json,
+    physical_plan_to_dict,
+    physical_plan_to_json,
+)
+from repro.workloads.queries import containment_workload
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+@pytest.fixture
+def physical(session):
+    result = session.optimize(containment_workload(["low", "mid", "txt"]))
+    return session.lower(result.plan)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_serial(self, physical):
+        rebuilt = physical_plan_from_dict(physical_plan_to_dict(physical))
+        assert rebuilt == physical
+
+    def test_json_round_trip(self, physical):
+        rebuilt = physical_plan_from_json(physical_plan_to_json(physical))
+        assert rebuilt == physical
+
+    def test_round_trip_parallel_with_budget(self, session):
+        result = session.optimize(containment_workload(["low", "mid"]))
+        physical = session.lower(
+            result.plan, parallelism=2, memory_budget_bytes=1 << 20
+        )
+        rebuilt = physical_plan_from_json(physical_plan_to_json(physical))
+        assert rebuilt == physical
+        assert rebuilt.waves == physical.waves
+        assert rebuilt.memory_budget_bytes == float(1 << 20)
+
+    def test_rebuilt_plan_executes_identically(self, session, physical):
+        from repro.engine.executor import PlanExecutor
+
+        rebuilt = physical_plan_from_json(physical_plan_to_json(physical))
+        a = PlanExecutor(session.catalog, "r").execute_physical(physical)
+        b = PlanExecutor(session.catalog, "r").execute_physical(rebuilt)
+        assert set(a.results) == set(b.results)
+        assert a.metrics.as_dict() == b.metrics.as_dict()
+
+    def test_payload_is_json_clean(self, physical):
+        payload = physical_plan_to_dict(physical)
+        assert json.loads(json.dumps(payload)) == json.loads(
+            json.dumps(payload)
+        )
+        assert payload["physical_version"] == PHYSICAL_FORMAT_VERSION
+
+
+class TestCorruption:
+    def test_version_mismatch_rejected(self, physical):
+        payload = physical_plan_to_dict(physical)
+        payload["physical_version"] = 99
+        with pytest.raises(PlanError, match="format version"):
+            physical_plan_from_dict(payload)
+
+    def test_unknown_operator_tag_rejected(self, physical):
+        payload = physical_plan_to_dict(physical)
+        payload["operators"][0]["op"] = "quantum_scan"
+        with pytest.raises(PlanError, match="unknown operator tag"):
+            physical_plan_from_dict(payload)
+
+    def test_unknown_operator_field_rejected(self, physical):
+        payload = physical_plan_to_dict(physical)
+        payload["operators"][0]["surprise"] = 1
+        with pytest.raises(PlanError, match="malformed physical plan"):
+            physical_plan_from_dict(payload)
+
+    def test_structural_violation_rejected_by_verifier(self, physical):
+        payload = physical_plan_to_dict(physical)
+        # Orphan an operator: remove it from its pipeline.
+        payload["pipelines"][0]["ops"] = payload["pipelines"][0]["ops"][:-1]
+        with pytest.raises(PlanError, match="PV012"):
+            physical_plan_from_dict(payload)
+
+    def test_non_object_operator_entry_rejected(self, physical):
+        payload = physical_plan_to_dict(physical)
+        payload["operators"][0] = "scan"
+        with pytest.raises(PlanError, match="must be objects"):
+            physical_plan_from_dict(payload)

@@ -268,3 +268,76 @@ class TestErrorHandling:
         path.write_text("a,b\n1\n")
         assert main(["profile", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestParallelismValidation:
+    def test_zero_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "trace",
+                    "--workload", "sales",
+                    "--parallelism", "0",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "parallelism must be >= 1" in capsys.readouterr().err
+
+    def test_negative_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "explain",
+                    "--workload", "sales",
+                    "--parallelism", "-3",
+                ]
+            )
+        assert "parallelism must be >= 1" in capsys.readouterr().err
+
+    def test_non_integer_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "trace",
+                    "--workload", "sales",
+                    "--parallelism", "two",
+                ]
+            )
+        assert "'two' is not an integer" in capsys.readouterr().err
+
+
+class TestPhysicalExplain:
+    def test_explain_renders_physical_tree(self, capsys):
+        code = main(["explain", "--workload", "sales", "--rows", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- PHYSICAL --" in out
+        assert "physical plan: sales" in out
+        assert "Scan sales" in out
+        assert "GroupBy" in out  # Hash or Sort flavor, chosen by cost
+
+    def test_explain_physical_honors_budget(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--memory-budget-bytes", "4096",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget=4096B" in out
+
+    def test_explain_analyze_includes_physical(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--analyze",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- PHYSICAL --" in out
