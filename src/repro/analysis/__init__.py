@@ -18,6 +18,12 @@ Both are exposed through the CLI (``repro lint-plan`` /
 ``repro lint-code``) and gated in ``tests/analysis``.
 """
 
+from repro.analysis.dataflow import (
+    AbstractState,
+    AnalysisContext,
+    DataflowAnalysis,
+    Interval,
+)
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.analysis.linter import CODE_RULES, lint_paths, lint_source
 from repro.analysis.physrules import (
@@ -38,8 +44,12 @@ from repro.analysis.verifier import (
 )
 
 __all__ = [
+    "AbstractState",
+    "AnalysisContext",
     "CODE_RULES",
+    "DataflowAnalysis",
     "Diagnostic",
+    "Interval",
     "PHYSICAL_RULES",
     "PLAN_RULES",
     "PhysicalRule",

@@ -54,12 +54,29 @@ class Diagnostic:
             text += f" (hint: {self.hint})"
         return text
 
+    def to_dict(self) -> dict[str, str]:
+        """JSON-compatible form (``--format json`` CLI output)."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
 
 @dataclass
 class DiagnosticCollector:
-    """Accumulates diagnostics during one verification / lint run."""
+    """Accumulates diagnostics during one verification / lint run.
+
+    Identical findings — same ``(rule, location, message)`` — are
+    emitted once: gates run the same rule catalog repeatedly over one
+    plan (``check()`` at lowering, again at the executor), and repeated
+    runs must not multiply the report.
+    """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    _seen: set[tuple[str, str, str]] = field(default_factory=set)
 
     def emit(
         self,
@@ -69,6 +86,10 @@ class DiagnosticCollector:
         message: str,
         hint: str = "",
     ) -> None:
+        key = (rule, location, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
         self.diagnostics.append(
             Diagnostic(rule, severity, location, message, hint)
         )
@@ -91,3 +112,13 @@ def format_report(diagnostics: list[Diagnostic]) -> str:
     n_warnings = len(diagnostics) - n_errors
     lines.append(f"{n_errors} error(s), {n_warnings} warning(s)")
     return "\n".join(lines)
+
+
+def report_as_dict(diagnostics: list[Diagnostic]) -> dict[str, object]:
+    """Machine-readable report shape for ``--format json`` output."""
+    n_errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    return {
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "errors": n_errors,
+        "warnings": len(diagnostics) - n_errors,
+    }

@@ -22,6 +22,12 @@ to apply (empty scope = every file).  The catalog:
   monotonic clock helper in ``repro.obs.clock``);
 * ``CL208`` ``to_rows()``/``iter_rows()`` calls in engine hot-path
   modules (row materialization defeats the columnar kernels).
+
+The lock-discipline rules ``CL209``–``CL212`` (unlocked shared-state
+mutation, lock-order inversion, manual ``acquire``/``release``, nested
+re-acquisition) live in :mod:`repro.analysis.concurrency` and register
+themselves into the same catalog; they are scoped to ``repro/engine``
+and ``repro/obs``, the modules the wavefront thread pool runs.
 """
 
 from __future__ import annotations
@@ -520,3 +526,8 @@ def lint_paths(
         source = file.read_text(encoding="utf-8")
         diagnostics.extend(lint_source(source, str(file), rules))
     return diagnostics
+
+
+# Registered last so `code_rule` exists when the module body runs; the
+# import is for its registration side effect only.
+from repro.analysis import concurrency as _concurrency  # noqa: E402,F401

@@ -17,6 +17,14 @@ interpret.  They enforce the data-flow contract between pipelines:
   memory budget (a warning: the lowering should have demoted the
   operator to sorting or partitioned execution).
 
+Rules PV016+ are the dataflow catalog (:mod:`repro.analysis.dataflow`):
+they consume the abstract interpreter's per-operator states (available
+columns, grouping lattice, cardinality intervals, sortedness,
+dictionary freshness) instead of re-walking the operator graph.  Every
+rule — structural or dataflow — receives the same
+:class:`~repro.analysis.dataflow.DataflowAnalysis` object, computed
+once per verification run.
+
 The rules live in their own registry (:data:`PHYSICAL_RULES`) — the
 logical verifier validates requested ids against ``PLAN_RULES`` and
 must not see physical ids.  :func:`check_physical_plan` is the
@@ -28,7 +36,7 @@ gate uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.analysis.diagnostics import (
     Diagnostic,
@@ -44,7 +52,10 @@ from repro.physical.plan import (
     Reaggregate,
 )
 
-PhysicalCheckFn = Callable[[PhysicalPlan, DiagnosticCollector], None]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow import AnalysisContext, DataflowAnalysis
+
+PhysicalCheckFn = Callable[["DataflowAnalysis", DiagnosticCollector], None]
 
 
 @dataclass(frozen=True)
@@ -56,7 +67,11 @@ class PhysicalRule:
         name: short kebab-case name.
         invariant: the property being enforced, in one sentence.
         severity: severity of findings this rule emits.
-        check: the rule body.
+        check: the rule body; receives the shared dataflow analysis.
+        requires: :class:`~repro.analysis.dataflow.AnalysisContext`
+            fields that must be present for the rule to run (the rule
+            is skipped, not failed, when they are absent — mirroring
+            the logical verifier's context rules).
     """
 
     rule_id: str
@@ -64,6 +79,7 @@ class PhysicalRule:
     invariant: str
     severity: Severity
     check: PhysicalCheckFn
+    requires: tuple[str, ...] = ()
 
 
 #: Ordered registry of every physical rule, keyed by rule id.
@@ -75,6 +91,7 @@ def physical_rule(
     name: str,
     invariant: str,
     severity: Severity = Severity.ERROR,
+    requires: tuple[str, ...] = (),
 ) -> Callable[[PhysicalCheckFn], PhysicalCheckFn]:
     """Register a checker function as a physical-plan rule."""
 
@@ -82,7 +99,7 @@ def physical_rule(
         if rule_id in PHYSICAL_RULES:
             raise ValueError(f"duplicate physical rule id {rule_id}")
         PHYSICAL_RULES[rule_id] = PhysicalRule(
-            rule_id, name, invariant, severity, check
+            rule_id, name, invariant, severity, check, requires
         )
         return check
 
@@ -105,7 +122,10 @@ def _pipeline_of(plan: PhysicalPlan) -> dict[int, int]:
     "pipelines reference real operators exactly once, and partition "
     "counts are positive.",
 )
-def check_physical_dag(plan: PhysicalPlan, out: DiagnosticCollector) -> None:
+def check_physical_dag(
+    analysis: DataflowAnalysis, out: DiagnosticCollector
+) -> None:
+    plan = analysis.plan
     n = len(plan.operators)
     for op in plan.operators:
         where = f"op {op.op_id} ({op.describe()})"
@@ -170,8 +190,9 @@ def check_physical_dag(plan: PhysicalPlan, out: DiagnosticCollector) -> None:
     "strictly earlier pipeline than its consumer.",
 )
 def check_materialize_before_reuse(
-    plan: PhysicalPlan, out: DiagnosticCollector
+    analysis: DataflowAnalysis, out: DiagnosticCollector
 ) -> None:
+    plan = analysis.plan
     owner = _pipeline_of(plan)
     for op in plan.operators:
         if not isinstance(op, Reaggregate):
@@ -212,8 +233,9 @@ def check_materialize_before_reuse(
     "materialized.",
 )
 def check_drop_after_last_use(
-    plan: PhysicalPlan, out: DiagnosticCollector
+    analysis: DataflowAnalysis, out: DiagnosticCollector
 ) -> None:
+    plan = analysis.plan
     owner = _pipeline_of(plan)
     materialized: dict[str, int] = {}
     drops: dict[str, list[int]] = {}
@@ -272,7 +294,10 @@ def check_drop_after_last_use(
     "memory budget.",
     severity=Severity.WARNING,
 )
-def check_memory_budget(plan: PhysicalPlan, out: DiagnosticCollector) -> None:
+def check_memory_budget(
+    analysis: DataflowAnalysis, out: DiagnosticCollector
+) -> None:
+    plan = analysis.plan
     budget = plan.memory_budget_bytes
     if budget is None:
         return
@@ -290,17 +315,27 @@ def check_memory_budget(plan: PhysicalPlan, out: DiagnosticCollector) -> None:
 
 
 def verify_physical_plan(
-    plan: PhysicalPlan, rules: Iterable[str] | None = None
+    plan: PhysicalPlan,
+    rules: Iterable[str] | None = None,
+    context: AnalysisContext | None = None,
 ) -> list[Diagnostic]:
     """Run the physical rule catalog over a lowered plan.
 
     Args:
         plan: the physical plan to verify.
         rules: restrict to these rule ids (default: all).
+        context: optional :class:`~repro.analysis.dataflow.
+            AnalysisContext` (catalog / base table / estimator).
+            Rules whose ``requires`` fields are absent are skipped.
 
     Returns:
         Every diagnostic, errors and warnings, in rule order.
     """
+    # Imported lazily both to avoid an import cycle (dataflow registers
+    # its rules through this module) and to make sure the PV016+ rules
+    # are in the registry before ids are validated.
+    from repro.analysis.dataflow import AnalysisContext, DataflowAnalysis
+
     selected = set(rules) if rules is not None else None
     if selected is not None:
         unknown = selected - PHYSICAL_RULES.keys()
@@ -308,23 +343,32 @@ def verify_physical_plan(
             raise ValueError(
                 f"unknown physical rule id(s): {', '.join(sorted(unknown))}"
             )
+    if context is None:
+        context = AnalysisContext()
+    analysis = DataflowAnalysis(plan, context)
     collector = DiagnosticCollector()
     for rule_id, rule in PHYSICAL_RULES.items():
         if selected is not None and rule_id not in selected:
             continue
-        rule.check(plan, collector)
+        if any(
+            getattr(context, field, None) is None for field in rule.requires
+        ):
+            continue
+        rule.check(analysis, collector)
     return collector.diagnostics
 
 
 def check_physical_plan(
-    plan: PhysicalPlan, rules: Iterable[str] | None = None
+    plan: PhysicalPlan,
+    rules: Iterable[str] | None = None,
+    context: AnalysisContext | None = None,
 ) -> list[Diagnostic]:
     """Verify and raise on errors; returns the (warning-only) findings.
 
     Raises:
         PlanVerificationError: when any error-severity rule fires.
     """
-    diagnostics = verify_physical_plan(plan, rules)
+    diagnostics = verify_physical_plan(plan, rules, context)
     if any(d.severity is Severity.ERROR for d in diagnostics):
         raise PlanVerificationError(diagnostics)
     return diagnostics

@@ -80,9 +80,11 @@ class PlanVerificationError(PlanError):
     def __init__(self, diagnostics: list[Diagnostic]) -> None:
         self.diagnostics = diagnostics
         errors = [d for d in diagnostics if d.severity is Severity.ERROR]
-        summary = "; ".join(d.format() for d in errors[:3])
-        if len(errors) > 3:
-            summary += f"; ... {len(errors) - 3} more"
+        # Debug gates escalate warning-only runs; summarize what fired.
+        shown = errors or diagnostics
+        summary = "; ".join(d.format() for d in shown[:3])
+        if len(shown) > 3:
+            summary += f"; ... {len(shown) - 3} more"
         super().__init__(f"plan verification failed: {summary}")
 
 

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli compare data.csv [--combi 2]
     python -m repro.cli explain data.csv [--analyze]
     python -m repro.cli trace --workload sales --out trace.jsonl
+    python -m repro.cli analyze-plan --workload sales [--states]
     python -m repro.cli lint-plan plan.json [--max-storage-bytes N]
     python -m repro.cli lint-code [paths ...]
 
@@ -17,9 +18,18 @@ plan, the SQL script, and optionally DOT; ``compare`` times GB-MQO
 against the naive plan and the commercial-style GROUPING SETS strategy;
 ``explain`` prints the plan with per-node estimates (``--analyze`` runs
 it and adds actuals plus q-error); ``trace`` runs optimize + execute
-under the span tracer and renders/exports the span tree; ``lint-plan``
-runs the static plan verifier over a serialized plan; ``lint-code``
-runs the custom AST lints over the repro sources.
+under the span tracer and renders/exports the span tree;
+``analyze-plan`` optimizes, lowers, and runs the abstract-interpretation
+dataflow analyzer (PV012+) over the physical plan with full catalog and
+cardinality context; ``lint-plan`` runs the static plan verifier over a
+serialized plan; ``lint-code`` runs the custom AST lints over the repro
+sources.
+
+The static-analysis subcommands share one exit-code contract: 0 clean,
+1 findings, 2 usage/input error.  ``lint-plan`` exits 1 only on
+error-severity findings; ``analyze-plan`` and ``lint-code`` exit 1 on
+any finding.  All three accept ``--format json`` for machine-readable
+output.
 """
 
 from __future__ import annotations
@@ -30,7 +40,11 @@ import sys
 import time
 from pathlib import Path
 
-from repro.analysis.diagnostics import Severity, format_report
+from repro.analysis.diagnostics import (
+    Severity,
+    format_report,
+    report_as_dict,
+)
 from repro.analysis.linter import lint_paths
 from repro.analysis.planview import PlanViewError
 from repro.analysis.verifier import VerifyContext, verify_payload
@@ -287,6 +301,47 @@ def cmd_sql(args) -> int:
     return 0
 
 
+def _print_report(diagnostics, fmt: str) -> None:
+    """Render a diagnostics list as text or JSON per ``--format``."""
+    if fmt == "json":
+        print(json.dumps(report_as_dict(diagnostics), indent=2))
+    else:
+        print(format_report(diagnostics))
+
+
+def cmd_analyze_plan(args) -> int:
+    if not _require_source(args):
+        return 2
+    from repro.analysis.dataflow import AnalysisContext, DataflowAnalysis
+    from repro.analysis.physrules import verify_physical_plan
+
+    session, queries = _obs_session(args)
+    result = session.optimize(queries)
+    physical = session.lower(
+        result.plan,
+        parallelism=args.parallelism,
+        memory_budget_bytes=args.memory_budget_bytes,
+    )
+    context = AnalysisContext(
+        catalog=session.catalog,
+        base_table=session.base_table,
+        estimator=session.estimator,
+    )
+    try:
+        diagnostics = verify_physical_plan(
+            physical, rules=_split_rules(args.rules), context=context
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "text" and args.states:
+        print("-- abstract states --")
+        print(DataflowAnalysis(physical, context).render())
+        print()
+    _print_report(diagnostics, args.format)
+    return 1 if diagnostics else 0
+
+
 def _split_rules(spec: str | None) -> list[str] | None:
     if not spec:
         return None
@@ -352,7 +407,7 @@ def cmd_lint_plan(args) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(format_report(diagnostics))
+    _print_report(diagnostics, args.format)
     has_errors = any(d.severity is Severity.ERROR for d in diagnostics)
     return 1 if has_errors else 0
 
@@ -368,7 +423,7 @@ def cmd_lint_code(args) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(format_report(diagnostics))
+    _print_report(diagnostics, args.format)
     return 1 if diagnostics else 0
 
 
@@ -533,9 +588,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sql.set_defaults(fn=cmd_sql)
 
+    def format_option(p):
+        p.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="report format (default text)",
+        )
+
+    analyze = sub.add_parser(
+        "analyze-plan",
+        help="abstract-interpretation dataflow analysis of the lowered "
+        "physical plan",
+        description="Optimize the workload, lower the winning plan to "
+        "physical operators, and run the dataflow analyzer (rules "
+        "PV012+) with full catalog and cardinality context: column "
+        "availability, grouping lattice, cardinality intervals, "
+        "sortedness, and dictionary freshness.",
+        epilog="exit status: 0 = no diagnostics, 1 = any diagnostic "
+        "(errors or warnings), 2 = usage or input error",
+    )
+    obs_common(analyze)
+    analyze.add_argument(
+        "--rules", help="comma-separated rule ids to run (default: all)"
+    )
+    analyze.add_argument(
+        "--states",
+        action="store_true",
+        help="also print the per-operator abstract states (text format)",
+    )
+    format_option(analyze)
+    analyze.set_defaults(fn=cmd_analyze_plan)
+
     lint_plan = sub.add_parser(
         "lint-plan",
         help="statically verify a serialized logical plan (JSON)",
+        epilog="exit status: 0 = no error-severity findings, 1 = at "
+        "least one error finding (warnings alone exit 0), 2 = usage or "
+        "input error",
     )
     lint_plan.add_argument(
         "plan", help="plan JSON file (repro.core.serialize format)"
@@ -560,11 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint_plan.add_argument(
         "--rules", help="comma-separated rule ids to run (default: all)"
     )
+    format_option(lint_plan)
     lint_plan.set_defaults(fn=cmd_lint_plan)
 
     lint_code = sub.add_parser(
         "lint-code",
         help="run the custom AST lints over the repro sources",
+        epilog="exit status: 0 = no findings, 1 = any finding (errors "
+        "or warnings), 2 = usage or input error",
     )
     lint_code.add_argument(
         "paths",
@@ -574,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_code.add_argument(
         "--rules", help="comma-separated rule ids to run (default: all)"
     )
+    format_option(lint_code)
     lint_code.set_defaults(fn=cmd_lint_code)
     return parser
 

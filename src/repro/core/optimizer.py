@@ -320,6 +320,50 @@ class GbMqoOptimizer:
             epsilon=self.options.epsilon,
         )
         check_plan(plan, context)
+        self._debug_verify_physical(plan)
+
+    def _debug_verify_physical(self, plan: LogicalPlan) -> None:
+        """Lower the chosen plan and run the dataflow rule catalog.
+
+        Only possible when the cost model is physically bound (an
+        :class:`~repro.costmodel.engine_model.EngineCostModel` with a
+        catalog and base table); purely statistical models skip the
+        cross-check.  In debug mode *any* finding is fatal — including
+        the interval-containment warnings, which makes every verified
+        optimization a consistency test between the cost model's
+        ``est_rows`` and bounds derived from the same statistics.
+        """
+        from repro.analysis.dataflow import AnalysisContext
+        from repro.analysis.physrules import verify_physical_plan
+        from repro.analysis.verifier import PlanVerificationError
+
+        model = self._coster.model
+        catalog = getattr(model, "catalog", None)
+        base_table = getattr(model, "base_table", None)
+        if catalog is None or base_table is None:
+            return
+        from repro.engine.aggregation import AggregateSpec
+        from repro.physical.lowering import lower
+
+        physical = lower(
+            plan,
+            catalog=catalog,
+            base_table=base_table,
+            aggregates=[AggregateSpec.count_star("cnt")],
+            use_indexes=getattr(model, "use_indexes", True),
+            estimator=getattr(model, "estimator", None),
+        )
+        diagnostics = verify_physical_plan(
+            physical,
+            context=AnalysisContext(
+                catalog=catalog,
+                base_table=base_table,
+                estimator=getattr(model, "estimator", None),
+                epsilon=self.options.epsilon,
+            ),
+        )
+        if diagnostics:
+            raise PlanVerificationError(diagnostics)
 
     def _storage_admissible(self, candidate: SubPlan) -> bool:
         limit = self.options.max_storage_bytes

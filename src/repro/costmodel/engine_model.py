@@ -117,6 +117,21 @@ class EngineCostModel:
     def estimator(self) -> CardinalityEstimator:
         return self._estimator
 
+    @property
+    def catalog(self) -> Catalog | None:
+        """Catalog the model costs against (debug-verify lowering)."""
+        return self._catalog
+
+    @property
+    def base_table(self) -> str | None:
+        """Name of the base relation R, when physically bound."""
+        return self._base_table
+
+    @property
+    def use_indexes(self) -> bool:
+        """Whether covering indexes participate in scan costing."""
+        return self._use_indexes
+
     # -- scan model -----------------------------------------------------------
 
     def _group_cpu(self, columns: frozenset[str]) -> float:

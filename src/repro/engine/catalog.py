@@ -39,9 +39,10 @@ class Catalog:
 
     def add_table(self, table: Table) -> Table:
         """Register a base table under its own name."""
-        if table.name in self._tables:
-            raise CatalogError(f"table {table.name!r} already exists")
-        self._tables[table.name] = table
+        with self._temp_lock:
+            if table.name in self._tables:
+                raise CatalogError(f"table {table.name!r} already exists")
+            self._tables[table.name] = table
         self._indexes.setdefault(table.name, [])
         return table
 
@@ -64,7 +65,8 @@ class Catalog:
         if name in self._temp_names:
             self.drop_temp(name)
             return
-        del self._tables[name]
+        with self._temp_lock:
+            del self._tables[name]
         self._indexes.pop(name, None)
 
     # -- temporary tables -----------------------------------------------------
@@ -105,12 +107,24 @@ class Catalog:
 
     def reset_storage_meter(self) -> None:
         """Reset peak/total counters (current must be zero)."""
-        if self.current_temp_bytes:
-            raise CatalogError(
-                "cannot reset the storage meter while temp tables exist"
-            )
-        self.peak_temp_bytes = 0
-        self.total_temp_bytes_written = 0
+        with self._temp_lock:
+            if self.current_temp_bytes:
+                raise CatalogError(
+                    "cannot reset the storage meter while temp tables exist"
+                )
+            self.peak_temp_bytes = 0
+            self.total_temp_bytes_written = 0
+
+    def set_peak_temp_bytes(self, value: int) -> None:
+        """Settle the all-time peak meter after a run (executor hook).
+
+        The executor samples temp storage at pipeline boundaries and
+        writes the run's settled peak back here; routing the write
+        through the lock keeps every meter mutation under
+        ``_temp_lock`` (the CL209 lock-discipline contract).
+        """
+        with self._temp_lock:
+            self.peak_temp_bytes = value
 
     # -- indexes ---------------------------------------------------------------
 
@@ -134,9 +148,10 @@ class Catalog:
                 f"index {spec.name!r} references missing columns {missing!r}"
             )
         if spec.clustered:
-            self._tables[table_name] = table.sort_by(
-                spec.columns, name=table_name
-            )
+            with self._temp_lock:
+                self._tables[table_name] = table.sort_by(
+                    spec.columns, name=table_name
+                )
             table = self._tables[table_name]
             # Re-encode the physically reordered table now: dictionary
             # encoding is load-time work, not query-time work.

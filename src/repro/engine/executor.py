@@ -56,6 +56,7 @@ from repro.obs.clock import monotonic
 from repro.obs.tracer import NOOP_TRACER, Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow import AnalysisContext
     from repro.physical.plan import (
         CubeExpand,
         DropTemp,
@@ -199,16 +200,30 @@ class PlanExecutor:
         and ``steps`` must be None — a caller-supplied linear order has
         no meaning once independent pipelines run concurrently.
         """
-        from repro.analysis.physrules import check_physical_plan
-
         if plan.relation != self._base_table:
             raise ExecutionError(
                 f"plan targets {plan.relation!r}, executor is bound to "
                 f"{self._base_table!r}"
             )
         physical = self.lower(plan, steps)
-        check_physical_plan(physical)
+        physical.check(self.analysis_context())
         return self.execute_physical(physical)
+
+    def analysis_context(self) -> "AnalysisContext":
+        """Dataflow-analysis context with this executor's ingredients.
+
+        With an estimator attached this enables the full rule catalog
+        — including the cardinality-interval containment cross-check
+        of the lowering's ``est_rows`` (PV022), making every verified
+        execution a standing test of the cost model.
+        """
+        from repro.analysis.dataflow import AnalysisContext
+
+        return AnalysisContext(
+            catalog=self._catalog,
+            base_table=self._base_table,
+            estimator=self._estimator,
+        )
 
     # -- physical interpretation -------------------------------------------------
 
@@ -254,8 +269,11 @@ class PlanExecutor:
             )
         result.wall_seconds = monotonic() - started
         result.peak_temp_bytes = local_peak - current_before
-        # Keep the catalog's all-time peak meaningful across runs.
-        self._catalog.peak_temp_bytes = max(peak_before, local_peak)
+        # Keep the catalog's all-time peak meaningful across runs.  The
+        # write goes through the catalog so it happens under the temp
+        # lock (mutating another object's lock-guarded state directly
+        # is exactly what the CL209 concurrency lint rejects).
+        self._catalog.set_peak_temp_bytes(max(peak_before, local_peak))
         return result
 
     # -- execution modes -----------------------------------------------------------

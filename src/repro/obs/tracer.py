@@ -312,10 +312,11 @@ class Tracer:
     def clear(self) -> None:
         """Drop all recorded spans, counters, and histograms."""
         self._stack.clear()
-        self.spans.clear()
-        self.counters.clear()
-        self.histograms.clear()
-        self._next_id = 0
+        with self._lock:
+            self.spans.clear()
+            self.counters.clear()
+            self.histograms.clear()
+            self._next_id = 0
 
 
 class NoopTracer(Tracer):

@@ -25,9 +25,13 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import ClassVar, Iterator
+from typing import TYPE_CHECKING, ClassVar, Iterator
 
 from repro.core.plan import PlanError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.dataflow import AnalysisContext
+    from repro.analysis.diagnostics import Diagnostic
 
 
 class PhysicalPlanError(PlanError):
@@ -375,6 +379,23 @@ class PhysicalPlan:
         return tuple(
             op for op in self.operators if isinstance(op, GroupingOperator)
         )
+
+    def check(
+        self, context: AnalysisContext | None = None
+    ) -> list[Diagnostic]:
+        """Gate: run the physical + dataflow rule catalog over the plan.
+
+        Raises :class:`repro.analysis.verifier.PlanVerificationError`
+        on any error-severity finding and returns the remaining
+        (warning-only) diagnostics.  Passing an
+        :class:`~repro.analysis.dataflow.AnalysisContext` with a
+        catalog / estimator additionally runs the context-gated rules
+        (schema soundness, cardinality-interval containment).
+        """
+        # Imported here: repro.analysis depends on repro.physical.
+        from repro.analysis.physrules import check_physical_plan
+
+        return check_physical_plan(self, context=context)
 
     def render(self) -> str:
         """Human-readable operator tree with per-operator estimates."""

@@ -1,4 +1,5 @@
-"""CLI coverage for the lint-plan / lint-code subcommands."""
+"""CLI coverage for the lint-plan / lint-code / analyze-plan
+subcommands and their shared exit-code + --format json contract."""
 
 import json
 
@@ -143,3 +144,101 @@ class TestLintCode:
         target.write_text("X = 1\n")
         assert main(["lint-code", str(target), "--rules", "CL999"]) == 2
         assert "unknown code rule" in capsys.readouterr().err
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("try:\n    pass\nexcept:\n    pass\n")
+        assert main(["lint-code", str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 0
+        [record] = payload["diagnostics"]
+        assert record["rule"] == "CL201"
+        assert record["severity"] == "error"
+        assert record["location"].endswith("dirty.py:3")
+
+
+class TestLintPlanJson:
+    def test_clean_json_report(self, valid_plan_path, capsys):
+        assert (
+            main(["lint-plan", str(valid_plan_path), "--format", "json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"diagnostics": [], "errors": 0, "warnings": 0}
+
+
+class TestAnalyzePlan:
+    def test_builtin_workload_clean_exits_zero(self, capsys):
+        code = main(
+            ["analyze-plan", "--workload", "sales", "--rows", "800"]
+        )
+        assert code == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        code = main(
+            [
+                "analyze-plan",
+                "--workload",
+                "customers",
+                "--rows",
+                "600",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"diagnostics": [], "errors": 0, "warnings": 0}
+
+    def test_states_rendering(self, capsys):
+        code = main(
+            [
+                "analyze-plan",
+                "--workload",
+                "sales",
+                "--rows",
+                "600",
+                "--queries",
+                "region;region,state",
+                "--states",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- abstract states --" in out
+        assert "raw" in out
+
+    def test_missing_source_exits_two(self, capsys):
+        assert main(["analyze-plan"]) == 2
+        assert "provide a CSV path or --workload" in capsys.readouterr().err
+
+    def test_unknown_rule_id_exits_two(self, capsys):
+        code = main(
+            [
+                "analyze-plan",
+                "--workload",
+                "sales",
+                "--rows",
+                "600",
+                "--rules",
+                "PV999",
+            ]
+        )
+        assert code == 2
+        assert "unknown physical rule" in capsys.readouterr().err
+
+    def test_parallel_lowering_clean(self, capsys):
+        code = main(
+            [
+                "analyze-plan",
+                "--workload",
+                "lineitem",
+                "--rows",
+                "800",
+                "--parallelism",
+                "2",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,301 @@
+"""Lock-discipline lints CL209-CL212 over seeded snippets and the repo.
+
+Each seeded-bug snippet produces exactly its owning rule's diagnostic;
+the engine/obs sources themselves must stay clean (the CI gate).
+"""
+
+import textwrap
+
+from repro.analysis.linter import CODE_RULES, lint_paths, lint_source
+
+ENGINE_PATH = "src/repro/engine/fake.py"
+CONCURRENCY_RULES = ["CL209", "CL210", "CL211", "CL212"]
+
+
+def lint(source, path=ENGINE_PATH, rules=None):
+    return lint_source(
+        textwrap.dedent(source), path, rules=rules or CONCURRENCY_RULES
+    )
+
+
+def fired(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+UNLOCKED_MUTATION = """
+    import threading
+
+    class Catalog:
+        def __init__(self):
+            self._temp_lock = threading.Lock()
+            self.peak_temp_bytes = 0
+
+        def charge(self, n):
+            with self._temp_lock:
+                self.peak_temp_bytes += n
+
+        def reset(self):
+            self.peak_temp_bytes = 0
+    """
+
+
+class TestCL209:
+    def test_unlocked_mutation_exactly_cl209(self):
+        diagnostics = lint(UNLOCKED_MUTATION)
+        assert fired(diagnostics) == ["CL209"]
+        assert "peak_temp_bytes" in diagnostics[0].message
+        assert diagnostics[0].location.endswith(":14")
+
+    def test_init_writes_allowed(self):
+        clean = """
+            import threading
+
+            class Catalog:
+                def __init__(self):
+                    self._temp_lock = threading.Lock()
+                    self.peak_temp_bytes = 0
+
+                def charge(self, n):
+                    with self._temp_lock:
+                        self.peak_temp_bytes += n
+            """
+        assert lint(clean) == []
+
+    def test_unguarded_attribute_not_flagged(self):
+        # An attribute never written under a lock has no inferred
+        # guard; flagging it would drown the lint in noise.
+        snippet = """
+            class Plain:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+            """
+        assert lint(snippet) == []
+
+    def test_mutating_method_call_counts_as_write(self):
+        snippet = """
+            import threading
+
+            class Tracer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.spans = []
+
+                def record(self, span):
+                    with self._lock:
+                        self.spans.append(span)
+
+                def clear(self):
+                    self.spans.clear()
+            """
+        diagnostics = lint(snippet)
+        assert fired(diagnostics) == ["CL209"]
+        assert "spans" in diagnostics[0].message
+
+    def test_cross_object_shared_write_flagged(self):
+        snippet = """
+            class Executor:
+                def finish(self, n):
+                    self._catalog.peak_temp_bytes = n
+            """
+        diagnostics = lint(snippet)
+        assert fired(diagnostics) == ["CL209"]
+        assert "bypassing" in diagnostics[0].message
+
+    def test_cross_object_local_result_not_flagged(self):
+        snippet = """
+            class Executor:
+                def finish(self, result, n):
+                    result.wall_seconds = n
+            """
+        assert lint(snippet) == []
+
+    def test_out_of_scope_path_skipped(self):
+        assert (
+            lint(UNLOCKED_MUTATION, path="src/repro/core/optimizer.py") == []
+        )
+
+
+class TestCL210:
+    INVERSION = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self.stats_lock = threading.Lock()
+                self.table_lock = threading.Lock()
+
+            def one(self):
+                with self.stats_lock:
+                    with self.table_lock:
+                        pass
+
+            def two(self):
+                with self.table_lock:
+                    with self.stats_lock:
+                        pass
+        """
+
+    def test_inversion_exactly_cl210(self):
+        diagnostics = lint(self.INVERSION)
+        assert fired(diagnostics) == ["CL210"]
+        assert "deadlock" in diagnostics[0].message
+
+    def test_consistent_order_clean(self):
+        snippet = """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self.stats_lock = threading.Lock()
+                    self.table_lock = threading.Lock()
+
+                def one(self):
+                    with self.stats_lock:
+                        with self.table_lock:
+                            pass
+
+                def two(self):
+                    with self.stats_lock:
+                        with self.table_lock:
+                            pass
+            """
+        assert lint(snippet) == []
+
+    def test_transitive_cycle_flagged(self):
+        snippet = """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self.a_lock = threading.Lock()
+                    self.b_lock = threading.Lock()
+                    self.c_lock = threading.Lock()
+
+                def one(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+
+                def two(self):
+                    with self.b_lock:
+                        with self.c_lock:
+                            pass
+
+                def three(self):
+                    with self.c_lock:
+                        with self.a_lock:
+                            pass
+            """
+        diagnostics = lint(snippet)
+        assert fired(diagnostics) and set(fired(diagnostics)) == {"CL210"}
+
+
+class TestCL211:
+    def test_manual_acquire_release_flagged(self):
+        snippet = """
+            import threading
+
+            class T:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def go(self):
+                    self._lock.acquire()
+                    try:
+                        pass
+                    finally:
+                        self._lock.release()
+            """
+        diagnostics = lint(snippet)
+        assert fired(diagnostics) == ["CL211", "CL211"]
+
+    def test_with_block_clean(self):
+        snippet = """
+            import threading
+
+            class T:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def go(self):
+                    with self._lock:
+                        pass
+            """
+        assert lint(snippet) == []
+
+    def test_non_lock_acquire_not_flagged(self):
+        snippet = """
+            class Pool:
+                def go(self, connection):
+                    connection.acquire()
+            """
+        assert lint(snippet) == []
+
+
+class TestCL212:
+    def test_nested_reacquisition_exactly_cl212(self):
+        snippet = """
+            import threading
+
+            class T:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        diagnostics = lint(snippet)
+        assert fired(diagnostics) == ["CL212"]
+        assert "not reentrant" in diagnostics[0].message
+
+    def test_cross_method_nesting_not_flagged(self):
+        # Lexical analysis only: sibling methods each taking the lock
+        # once are fine (the runtime call graph is out of scope).
+        snippet = """
+            import threading
+
+            class T:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def one(self):
+                    with self._lock:
+                        pass
+
+                def two(self):
+                    with self._lock:
+                        pass
+            """
+        assert lint(snippet) == []
+
+    def test_distinct_locks_nested_clean(self):
+        snippet = """
+            import threading
+
+            class T:
+                def __init__(self):
+                    self.a_lock = threading.Lock()
+                    self.b_lock = threading.Lock()
+
+                def go(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+            """
+        assert lint(snippet) == []
+
+
+class TestRepoGate:
+    def test_rules_registered(self):
+        assert set(CONCURRENCY_RULES) <= set(CODE_RULES)
+
+    def test_engine_and_obs_sources_clean(self):
+        diagnostics = lint_paths(
+            ["src/repro/engine", "src/repro/obs"], rules=CONCURRENCY_RULES
+        )
+        assert diagnostics == []

@@ -65,7 +65,9 @@ def fired(diagnostics):
 
 class TestRegistry:
     def test_rule_ids_start_at_pv012(self):
-        assert set(PHYSICAL_RULES) == {"PV012", "PV013", "PV014", "PV015"}
+        assert set(PHYSICAL_RULES) == {
+            f"PV{number:03d}" for number in range(12, 24)
+        }
 
     def test_unknown_rule_id_rejected(self):
         with pytest.raises(ValueError, match="unknown physical rule"):
