@@ -1,0 +1,184 @@
+"""Observability overhead benchmark: instrumented vs bare execution.
+
+The metrics registry and span tracer are designed to cost *nothing*
+when disabled (the no-op singletons) and close to nothing when enabled
+(one lock acquisition per counter bump, one list append per span).
+This benchmark puts a number on "close to nothing": for each built-in
+workload the optimizer's plan is executed both bare (NOOP tracer,
+NOOP registry — the library default) and fully instrumented (a live
+:class:`~repro.obs.tracer.Tracer` plus a live
+:class:`~repro.obs.metrics.MetricsRegistry` threaded through the
+executor, cost model, and dictionary cache), interleaved A/B/A/B to
+cancel thermal drift, taking the **median** of the repeats.
+
+Results land in ``BENCH_obs.json`` at the repository root::
+
+    python benchmarks/bench_obs.py [--rows N] [--repeats K] [--smoke]
+
+Full mode gates the overhead at ``--max-overhead`` (default 2%) per
+workload and asserts the instrumented run produced bit-identical
+results; ``--smoke`` runs a reduced scale for CI where timings are
+recorded but only correctness is gated (sub-10ms runs make a relative
+overhead gate pure noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Session  # noqa: E402
+from repro.engine.table import Table  # noqa: E402
+from repro.obs.clock import monotonic  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.tracer import Tracer  # noqa: E402
+from repro.workloads.customers import make_customers  # noqa: E402
+from repro.workloads.queries import combi_workload  # noqa: E402
+from repro.workloads.sales import make_sales  # noqa: E402
+from repro.workloads.tpch import make_lineitem  # noqa: E402
+
+WORKLOAD_BUILDERS = {
+    "sales": make_sales,
+    "lineitem": make_lineitem,
+    "customers": make_customers,
+}
+
+
+def tables_match(a: Table, b: Table) -> bool:
+    if a.num_rows != b.num_rows or set(a.column_names) != set(b.column_names):
+        return False
+    return all(np.array_equal(a[c], b[c]) for c in a.column_names)
+
+
+def _timed_execute(session: Session, plan, tracer, parallelism: int):
+    started = monotonic()
+    execution = session.execute(plan, tracer=tracer, parallelism=parallelism)
+    return monotonic() - started, execution
+
+
+def bench_workload(
+    name: str, rows: int, repeats: int, parallelism: int
+) -> dict[str, object]:
+    maker = WORKLOAD_BUILDERS[name]
+    table = maker(rows)
+    columns = list(table.column_names)[:5]
+    queries = combi_workload(columns, 2)
+
+    # Two sessions over identical data: one bare (NOOP tracer and NOOP
+    # registry — the defaults), one with live instrumentation wired in.
+    bare = Session.for_table(maker(rows), statistics="exact")
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    instrumented = Session.for_table(
+        maker(rows), statistics="exact", tracer=tracer, metrics=registry
+    )
+    plan = bare.optimize(queries).plan
+    instrumented_plan = instrumented.optimize(queries).plan
+
+    bare_seconds: list[float] = []
+    instrumented_seconds: list[float] = []
+    bare_execution = None
+    instrumented_execution = None
+    for _ in range(repeats):  # interleaved A/B to cancel drift
+        seconds, bare_execution = _timed_execute(
+            bare, plan, None, parallelism
+        )
+        bare_seconds.append(seconds)
+        seconds, instrumented_execution = _timed_execute(
+            instrumented, instrumented_plan, tracer, parallelism
+        )
+        instrumented_seconds.append(seconds)
+
+    results_match = set(bare_execution.results) == set(
+        instrumented_execution.results
+    ) and all(
+        tables_match(
+            bare_execution.results[q], instrumented_execution.results[q]
+        )
+        for q in bare_execution.results
+    )
+
+    bare_median = statistics.median(bare_seconds)
+    instrumented_median = statistics.median(instrumented_seconds)
+    overhead = instrumented_median / bare_median - 1.0 if bare_median else 0.0
+    return {
+        "rows": rows,
+        "queries": len(queries),
+        "repeats": repeats,
+        "parallelism": parallelism,
+        "bare_seconds": bare_median,
+        "instrumented_seconds": instrumented_median,
+        "overhead_ratio": overhead,
+        "spans_recorded": len(tracer.spans),
+        "metric_series": len(registry.flat_snapshot()),
+        "results_match": results_match,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=120_000)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--parallelism", type=int, default=1)
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.02,
+        help="overhead gate per workload in full mode (default 0.02)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced scale for CI; checks correctness flags only",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_obs.json",
+        help="output JSON path (default: BENCH_obs.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+    rows = 6_000 if args.smoke else args.rows
+    repeats = 3 if args.smoke else args.repeats
+
+    workloads = {}
+    failed = False
+    for name in WORKLOAD_BUILDERS:
+        entry = bench_workload(name, rows, repeats, args.parallelism)
+        workloads[name] = entry
+        gated = not args.smoke and entry["overhead_ratio"] > args.max_overhead
+        status = "ok"
+        if not entry["results_match"]:
+            status = "MISMATCH"
+        elif gated:
+            status = f"OVERHEAD>{args.max_overhead:.0%}"
+        print(
+            f"{name:<10} rows={entry['rows']:>8} "
+            f"bare={entry['bare_seconds']:.4f}s "
+            f"instrumented={entry['instrumented_seconds']:.4f}s "
+            f"overhead={entry['overhead_ratio']:+.2%} "
+            f"spans={entry['spans_recorded']} "
+            f"series={entry['metric_series']} [{status}]"
+        )
+        failed = failed or not entry["results_match"] or gated
+
+    payload = {
+        "smoke": args.smoke,
+        "max_overhead": args.max_overhead,
+        "workloads": workloads,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.executor import ExecutionResult, PlanExecutor
 from repro.engine.indexes import IndexSpec
 from repro.engine.table import Table
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.tracer import NOOP_TRACER, Tracer
 from repro.stats.cardinality import (
     CardinalityEstimator,
@@ -72,6 +73,10 @@ class Session:
         tracer: span tracer threaded through the optimizer, cost model,
             and executor.  Defaults to the shared no-op tracer, which
             records nothing and adds near-zero overhead.
+        metrics: metrics registry threaded through the same layers for
+            aggregate counters/histograms (see :mod:`repro.obs.metrics`).
+            Defaults to the process-wide registry, which is the no-op
+            singleton unless explicitly enabled.
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class Session:
         use_indexes: bool = True,
         enable_plan_cache: bool = False,
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.catalog = catalog
         self.base_table = base_table
@@ -90,6 +96,7 @@ class Session:
         self.cost_model_name = cost_model
         self.use_indexes = use_indexes
         self.tracer = tracer or NOOP_TRACER
+        self.metrics = metrics if metrics is not None else get_metrics()
         self._coster: PlanCoster | None = None
         #: Plan cache: (queries, options) -> OptimizationResult, keyed
         #: per physical-design version.  Off by default so experiment
@@ -114,6 +121,7 @@ class Session:
         seed: int = 0,
         use_indexes: bool = True,
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> "Session":
         """Build a session around one table.
 
@@ -126,6 +134,8 @@ class Session:
             seed: sampling seed.
             use_indexes: allow covering-index execution paths.
             tracer: span tracer for the whole session (no-op default).
+            metrics: metrics registry for the whole session (defaults
+                to the process-wide registry).
         """
         catalog = Catalog()
         catalog.add_table(table)
@@ -144,6 +154,7 @@ class Session:
             cost_model=cost_model,
             use_indexes=use_indexes,
             tracer=tracer,
+            metrics=metrics,
         )
 
     # -- cost model / coster ------------------------------------------------------
@@ -164,7 +175,9 @@ class Session:
                 raise ValueError(
                     f"unknown cost model {self.cost_model_name!r}"
                 )
-            self._coster = PlanCoster(model, tracer=self.tracer)
+            self._coster = PlanCoster(
+                model, tracer=self.tracer, metrics=self.metrics
+            )
         return self._coster
 
     def invalidate_coster(self) -> None:
@@ -208,11 +221,14 @@ class Session:
                 self.plan_cache_hits += 1
                 return self._plan_cache[key]
             result = GbMqoOptimizer(
-                self.coster(), options, tracer=self.tracer
+                self.coster(), options, tracer=self.tracer,
+                metrics=self.metrics,
             ).optimize(self.base_table, queries)
             self._plan_cache[key] = result
             return result
-        optimizer = GbMqoOptimizer(self.coster(), options, tracer=self.tracer)
+        optimizer = GbMqoOptimizer(
+            self.coster(), options, tracer=self.tracer, metrics=self.metrics
+        )
         return optimizer.optimize(self.base_table, queries)
 
     def _schedule_steps(
@@ -244,6 +260,7 @@ class Session:
             parallelism=parallelism,
             estimator=self.estimator,
             memory_budget_bytes=memory_budget_bytes,
+            metrics=self.metrics,
         )
 
     def execute(
@@ -334,9 +351,18 @@ class Session:
         plan: LogicalPlan,
         schedule: str = "storage",
         parallelism: int = 1,
+        history=None,
     ):
         """EXPLAIN ANALYZE: execute the plan instrumented and report
         estimated vs actual rows/bytes/time and q-error per node.
+
+        Args:
+            plan: the plan to analyze.
+            schedule: execution schedule, as in :meth:`execute`.
+            parallelism: worker threads for wavefront execution.
+            history: a :class:`repro.obs.history.PlanHistoryStore` (or a
+                path to one) to append this run's estimated-vs-actual
+                record to, keyed by the plan's fingerprint.
 
         Returns:
             A :class:`repro.obs.analyze.PlanAnalysis`; print its
@@ -344,9 +370,19 @@ class Session:
         """
         from repro.obs.analyze import explain_analyze
 
-        return explain_analyze(
+        analysis = explain_analyze(
             self, plan, schedule=schedule, parallelism=parallelism
         )
+        if history is not None:
+            from repro.obs.history import PlanHistoryStore
+
+            store = (
+                history
+                if isinstance(history, PlanHistoryStore)
+                else PlanHistoryStore(history)
+            )
+            store.append_analysis(analysis, plan, parallelism=parallelism)
+        return analysis
 
     def run_with_aggregates(self, queries, options=None):
         """Optimize and execute a workload with per-query aggregates.

@@ -6,8 +6,10 @@ Subcommands::
     python -m repro.cli profile data.csv [--combi 2] [--statistics sampled]
     python -m repro.cli plan data.csv --queries "city;state;city,state"
     python -m repro.cli compare data.csv [--combi 2]
-    python -m repro.cli explain data.csv [--analyze]
+    python -m repro.cli explain data.csv [--analyze] [--history h.jsonl]
     python -m repro.cli trace --workload sales --out trace.jsonl
+    python -m repro.cli flamegraph --workload sales --out profile.collapsed
+    python -m repro.cli calibration history.jsonl [--relation R]
     python -m repro.cli analyze-plan --workload sales [--states]
     python -m repro.cli lint-plan plan.json [--max-storage-bytes N]
     python -m repro.cli lint-code [paths ...]
@@ -17,8 +19,14 @@ and prints a data-quality report; ``plan`` shows the chosen logical
 plan, the SQL script, and optionally DOT; ``compare`` times GB-MQO
 against the naive plan and the commercial-style GROUPING SETS strategy;
 ``explain`` prints the plan with per-node estimates (``--analyze`` runs
-it and adds actuals plus q-error); ``trace`` runs optimize + execute
-under the span tracer and renders/exports the span tree;
+it and adds actuals plus q-error; ``--history`` appends the run to a
+plan-history JSONL store); ``trace`` runs optimize + execute under the
+span tracer and renders/exports the span tree (``--metrics`` adds the
+counter/histogram snapshots, ``--prom-out`` writes the Prometheus
+exposition); ``flamegraph`` converts a run's span tree — or an exported
+trace JSONL — into collapsed-stack format plus a per-operator self-time
+table; ``calibration`` rolls a plan-history store up into the q-error
+calibration report;
 ``analyze-plan`` optimizes, lowers, and runs the abstract-interpretation
 dataflow analyzer (PV012+) over the physical plan with full catalog and
 cardinality context; ``lint-plan`` runs the static plan verifier over a
@@ -53,7 +61,19 @@ from repro.baselines.grouping_sets import CommercialGroupingSetsPlanner
 from repro.core.visualize import plan_to_dot
 from repro.engine.csv_io import load_csv
 from repro.engine.sqlgen import plan_to_sql
-from repro.obs import Tracer, format_snapshot, render_span_tree, write_jsonl
+from repro.obs import (
+    MetricsRegistry,
+    PlanHistoryStore,
+    Tracer,
+    format_snapshot,
+    read_jsonl,
+    render_span_tree,
+    render_self_time_table,
+    self_time_table,
+    spans_from_dicts,
+    write_collapsed,
+    write_jsonl,
+)
 from repro.workloads.customers import make_customers
 from repro.workloads.queries import combi_workload, single_column_queries
 from repro.workloads.sales import make_sales
@@ -172,7 +192,9 @@ def cmd_compare(args) -> int:
 
 
 def _obs_session(
-    args, tracer: Tracer | None = None
+    args,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> tuple[Session, list[frozenset[str]]]:
     """Session + workload for the observability subcommands.
 
@@ -185,7 +207,7 @@ def _obs_session(
         table = WORKLOAD_BUILDERS[args.workload](args.rows)
     table.build_dictionaries()
     session = Session.for_table(
-        table, statistics=args.statistics, tracer=tracer
+        table, statistics=args.statistics, tracer=tracer, metrics=metrics
     )
     columns = args.columns.split(",") if args.columns else list(table.column_names)
     if args.queries:
@@ -225,11 +247,12 @@ def cmd_explain(args) -> int:
         print(f"search: {result.telemetry.summary()}")
     if args.analyze:
         print("\n-- EXPLAIN ANALYZE --")
-        print(
-            session.explain_analyze(
-                result.plan, parallelism=args.parallelism
-            ).render()
+        analysis = session.explain_analyze(
+            result.plan, parallelism=args.parallelism, history=args.history
         )
+        print(analysis.render())
+        if args.history:
+            print(f"appended run record to {args.history}")
     else:
         print("\n-- EXPLAIN --")
         print(session.explain(result.plan).render())
@@ -247,7 +270,8 @@ def cmd_trace(args) -> int:
     if not _require_source(args):
         return 2
     tracer = Tracer()
-    session, queries = _obs_session(args, tracer=tracer)
+    registry = MetricsRegistry()
+    session, queries = _obs_session(args, tracer=tracer, metrics=registry)
     source = args.csv or args.workload
     # One root span over the whole optimize + execute pipeline, so the
     # exported tree has a single top-level entry covering both phases.
@@ -268,9 +292,62 @@ def cmd_trace(args) -> int:
     if args.metrics:
         print("\n-- metrics snapshot --")
         print(format_snapshot(tracer.metrics_snapshot()))
+        flat = registry.flat_snapshot()
+        if flat:
+            print("\n-- registry snapshot --")
+            print(format_snapshot(dict(flat)))
+    if args.prom_out:
+        Path(args.prom_out).write_text(
+            registry.to_prometheus(), encoding="utf-8"
+        )
+        print(f"\nwrote Prometheus exposition to {args.prom_out}")
     if args.out:
         lines = write_jsonl(tracer, args.out)
         print(f"\nwrote {lines} spans to {args.out}")
+    return 0
+
+
+def cmd_flamegraph(args) -> int:
+    if args.from_jsonl:
+        spans = spans_from_dicts(read_jsonl(args.from_jsonl))
+    else:
+        if not _require_source(args):
+            return 2
+        tracer = Tracer()
+        session, queries = _obs_session(args, tracer=tracer)
+        source = args.csv or args.workload
+        with tracer.span("trace", source=str(source), queries=len(queries)):
+            result = session.optimize(queries)
+            session.execute(
+                result.plan,
+                parallelism=args.parallelism,
+                memory_budget_bytes=args.memory_budget_bytes,
+            )
+        spans = tracer.spans
+    if not spans:
+        print("error: no spans to profile", file=sys.stderr)
+        return 2
+    print(render_self_time_table(self_time_table(spans), limit=args.limit))
+    if args.out:
+        lines = write_collapsed(spans, args.out)
+        print(f"\nwrote {lines} collapsed stacks to {args.out}")
+    return 0
+
+
+def cmd_calibration(args) -> int:
+    path = Path(args.history)
+    if not path.exists():
+        print(f"error: no history file at {path}", file=sys.stderr)
+        return 2
+    store = PlanHistoryStore(path)
+    report = store.calibration(relation=args.relation)
+    if report.runs == 0:
+        print(f"error: no matching records in {path}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
     return 0
 
 
@@ -545,6 +622,14 @@ def build_parser() -> argparse.ArgumentParser:
             "lowering (groupings over it sort or partition)",
         )
 
+    def format_option(p):
+        p.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="report format (default text)",
+        )
+
     explain = sub.add_parser(
         "explain",
         help="per-node estimates; --analyze adds actuals and q-error",
@@ -555,6 +640,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute the plan; report actual rows/bytes/time and q-error",
     )
+    explain.add_argument(
+        "--history",
+        help="append the --analyze run record to this plan-history JSONL "
+        "store (see the calibration subcommand)",
+    )
     explain.set_defaults(fn=cmd_explain)
 
     trace = sub.add_parser(
@@ -562,13 +652,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="run optimize + execute under the span tracer",
     )
     obs_common(trace)
-    trace.add_argument("--out", help="write the span tree to this JSONL file")
+    trace.add_argument(
+        "--out",
+        "--output",
+        dest="out",
+        help="write the span tree to this JSONL file",
+    )
     trace.add_argument(
         "--metrics",
         action="store_true",
-        help="also print the flat counter/histogram snapshot",
+        help="also print the flat counter/histogram snapshots (tracer "
+        "and metrics registry)",
+    )
+    trace.add_argument(
+        "--prom-out",
+        help="write the metrics-registry Prometheus text exposition here",
     )
     trace.set_defaults(fn=cmd_trace)
+
+    flame = sub.add_parser(
+        "flamegraph",
+        help="collapsed-stack profile and self-time table from a run "
+        "or an exported trace",
+        description="Run optimize + execute under the span tracer (or "
+        "replay an exported trace via --from-jsonl) and fold the span "
+        "tree into Brendan Gregg collapsed-stack format — consumable "
+        "by flamegraph.pl and speedscope — plus a per-operator "
+        "self-time table.",
+    )
+    obs_common(flame)
+    flame.add_argument(
+        "--from-jsonl",
+        help="fold an exported trace JSONL (from `repro trace --out`) "
+        "instead of running a workload",
+    )
+    flame.add_argument(
+        "--out",
+        "--output",
+        dest="out",
+        help="write the collapsed-stack profile to this file",
+    )
+    flame.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="self-time table rows to print (default 20)",
+    )
+    flame.set_defaults(fn=cmd_flamegraph)
+
+    calibration = sub.add_parser(
+        "calibration",
+        help="q-error calibration report from a plan-history store",
+        description="Roll a plan-history JSONL store (written by "
+        "`repro explain --analyze --history`) up into the per-"
+        "(operator, regime) q-error calibration report: count, "
+        "geometric-mean/p50/p95/max q-error, and estimate-bias "
+        "direction.",
+    )
+    calibration.add_argument(
+        "history", help="plan-history JSONL file to roll up"
+    )
+    calibration.add_argument(
+        "--relation", help="restrict to runs over this base relation"
+    )
+    format_option(calibration)
+    calibration.set_defaults(fn=cmd_calibration)
 
     sql = sub.add_parser(
         "sql", help="run a GROUPING SETS / CUBE / ROLLUP statement"
@@ -587,14 +735,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20, help="result rows to print"
     )
     sql.set_defaults(fn=cmd_sql)
-
-    def format_option(p):
-        p.add_argument(
-            "--format",
-            choices=("text", "json"),
-            default="text",
-            help="report format (default text)",
-        )
 
     analyze = sub.add_parser(
         "analyze-plan",

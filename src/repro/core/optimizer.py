@@ -14,6 +14,7 @@ merge, only pairs involving the newly created sub-plan are evaluated.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -24,6 +25,7 @@ from repro.core.pruning import MonotonicityPruner, SubsumptionPruner
 from repro.core.storage import min_intermediate_storage
 from repro.costmodel.base import PlanCoster
 from repro.obs.clock import monotonic
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.telemetry import SearchTelemetry
 from repro.obs.tracer import NOOP_TRACER, Tracer
 
@@ -107,6 +109,10 @@ class GbMqoOptimizer:
             ``optimize`` span with one ``optimize.iteration`` child per
             hill-climbing iteration.  Defaults to the no-op tracer, so
             an untraced run does no span work and allocates nothing.
+        metrics: metrics registry; each run records run counts, search
+            seconds, iterations, and estimated speedup labeled by
+            relation.  Defaults to the process-wide registry (no-op
+            unless enabled).
     """
 
     def __init__(
@@ -114,10 +120,12 @@ class GbMqoOptimizer:
         coster: PlanCoster,
         options: OptimizerOptions | None = None,
         tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._coster = coster
         self.options = options or OptimizerOptions()
         self._tracer = tracer or NOOP_TRACER
+        self._metrics = metrics if metrics is not None else get_metrics()
 
     @property
     def coster(self) -> PlanCoster:
@@ -136,6 +144,24 @@ class GbMqoOptimizer:
                 naive_cost=result.naive_cost,
                 optimizer_calls=result.optimizer_calls,
             )
+        if self._metrics.enabled:
+            self._metrics.inc("repro_optimizer_runs_total", relation=relation)
+            self._metrics.observe(
+                "repro_optimizer_seconds",
+                result.optimization_seconds,
+                relation=relation,
+            )
+            self._metrics.inc(
+                "repro_optimizer_iterations_total",
+                result.iterations,
+                relation=relation,
+            )
+            if math.isfinite(result.estimated_speedup):
+                self._metrics.observe(
+                    "repro_optimizer_estimated_speedup",
+                    result.estimated_speedup,
+                    relation=relation,
+                )
         return result
 
     def _search(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Protocol
 
 from repro.core.plan import LogicalPlan, PlanNode, SubPlan
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.tracer import NOOP_TRACER, Tracer
 
 
@@ -41,11 +42,21 @@ class PlanCoster:
         tracer: span tracer; every uncached model invocation is wrapped
             in a ``costmodel.edge_cost`` span and counted when tracing
             is enabled (the default no-op tracer costs one branch).
+        metrics: metrics registry; uncached model invocations count into
+            ``repro_costmodel_calls_total`` and the computed edge costs
+            into the ``repro_costmodel_edge_cost`` histogram.  Defaults
+            to the process-wide registry (no-op unless enabled).
     """
 
-    def __init__(self, model: CostModel, tracer: Tracer | None = None) -> None:
+    def __init__(
+        self,
+        model: CostModel,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._model = model
         self._tracer = tracer or NOOP_TRACER
+        self._metrics = metrics if metrics is not None else get_metrics()
         self._edge_cache: dict[tuple[object, ...], float] = {}
         self._subplan_cache: dict[SubPlan, float] = {}
         #: Number of distinct costing requests sent to the model — the
@@ -81,6 +92,9 @@ class PlanCoster:
                 self._tracer.observe("costmodel.edge_cost", cost)
             else:
                 cost = self._model.edge_cost(parent, child, materialize_child)
+            if self._metrics.enabled:
+                self._metrics.inc("repro_costmodel_calls_total")
+                self._metrics.observe("repro_costmodel_edge_cost", cost)
             self._edge_cache[key] = cost
         return self._edge_cache[key]
 

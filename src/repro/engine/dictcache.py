@@ -35,6 +35,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
 if TYPE_CHECKING:  # import cycle guard: Table.dictionary uses our kernels
     from repro.engine.table import Table
 
@@ -113,13 +115,23 @@ class DictionaryCache:
     Attributes:
         hits: lookups served without factorizing.
         misses: lookups that had to factorize the column.
+        evictions: dictionaries dropped via :meth:`evict`.
+
+    Args:
+        metrics: a :class:`~repro.obs.metrics.MetricsRegistry`; eviction
+            events are counted into it immediately
+            (``repro_dictcache_evictions_total``), while hit/miss deltas
+            are folded in per plan execution by the executor.  Defaults
+            to the process-wide registry (no-op unless enabled).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
         self._key_locks: dict[tuple[int, str], threading.Lock] = {}
+        self._metrics = metrics if metrics is not None else get_metrics()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def codes(self, table: Table, column: str) -> tuple[np.ndarray, np.ndarray]:
         """Dense codes and distinct values for ``table[column]``."""
@@ -144,7 +156,30 @@ class DictionaryCache:
                 self.misses += 1
             return encoded
 
+    def evict(self, table: Table) -> int:
+        """Drop a table's cached dictionaries and this cache's locks for it.
+
+        Serving workloads that keep one cache warm across plan
+        executions call this when a base relation's contents change
+        (stale codes must never be reused); returns the number of
+        dictionaries dropped and counts them as evictions.
+        """
+        dropped = table.drop_dictionaries()
+        with self._lock:
+            for key in [k for k in self._key_locks if k[0] == id(table)]:
+                del self._key_locks[key]
+            self.evictions += dropped
+        if dropped:
+            self._metrics.inc(
+                "repro_dictcache_evictions_total", dropped, table=table.name
+            )
+        return dropped
+
     def stats(self) -> dict[str, int]:
         """Snapshot of the hit/miss counters (for spans and benchmarks)."""
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -53,6 +53,7 @@ from repro.engine.partitioned_cube import partition_by_values
 from repro.engine.table import Table
 from repro.engine.types import EngineError
 from repro.obs.clock import monotonic
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.tracer import NOOP_TRACER, Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -128,6 +129,13 @@ class PlanExecutor:
             operators whose estimate exceeds it are demoted to the sort
             regime and then to partitioned execution.  Requires an
             estimator to have any effect.
+        metrics: a :class:`~repro.obs.metrics.MetricsRegistry`; when
+            enabled, every run records aggregate counters and latency
+            histograms (runs, per-operator seconds, grouping regimes,
+            dictionary-cache hits/misses) labeled by relation, operator,
+            and regime.  Defaults to the process-wide registry, which is
+            the no-op singleton unless explicitly enabled — recording is
+            read-only and never changes results.
     """
 
     def __init__(
@@ -141,6 +149,7 @@ class PlanExecutor:
         dictionary_cache: DictionaryCache | None = None,
         estimator: "CardinalityEstimator | None" = None,
         memory_budget_bytes: float | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if parallelism < 1:
             raise ExecutionError("parallelism must be >= 1")
@@ -154,6 +163,7 @@ class PlanExecutor:
         self._dictionary_cache = dictionary_cache
         self._estimator = estimator
         self._memory_budget_bytes = memory_budget_bytes
+        self._metrics = metrics if metrics is not None else get_metrics()
 
     # -- lowering -----------------------------------------------------------------
 
@@ -230,7 +240,13 @@ class PlanExecutor:
     def execute_physical(self, physical: "PhysicalPlan") -> ExecutionResult:
         """Interpret a lowered physical plan (serial or wavefront)."""
         parallel = physical.waves is not None
-        dictionaries = self._dictionary_cache or DictionaryCache()
+        dictionaries = self._dictionary_cache or DictionaryCache(
+            metrics=self._metrics
+        )
+        registry = self._metrics
+        dictionary_stats_before = (
+            dictionaries.stats() if registry.enabled else {}
+        )
         result = ExecutionResult()
         started = monotonic()
         peak_before = self._catalog.peak_temp_bytes
@@ -274,7 +290,62 @@ class PlanExecutor:
         # lock (mutating another object's lock-guarded state directly
         # is exactly what the CL209 concurrency lint rejects).
         self._catalog.set_peak_temp_bytes(max(peak_before, local_peak))
+        if registry.enabled:
+            self._record_run_metrics(
+                registry,
+                physical,
+                result,
+                parallel,
+                dictionaries,
+                dictionary_stats_before,
+            )
         return result
+
+    def _record_run_metrics(
+        self,
+        registry: MetricsRegistry,
+        physical: "PhysicalPlan",
+        result: ExecutionResult,
+        parallel: bool,
+        dictionaries: DictionaryCache,
+        dictionary_stats_before: dict[str, int],
+    ) -> None:
+        """Fold one run's totals into the metrics registry."""
+        relation = physical.relation
+        mode = "wavefront" if parallel else "serial"
+        registry.inc(
+            "repro_executor_runs_total", relation=relation, mode=mode
+        )
+        registry.observe(
+            "repro_executor_run_seconds",
+            result.wall_seconds,
+            relation=relation,
+            mode=mode,
+        )
+        registry.inc(
+            "repro_executor_queries_total",
+            result.metrics.queries_executed,
+            relation=relation,
+        )
+        registry.inc(
+            "repro_executor_work_bytes_total",
+            result.metrics.work,
+            relation=relation,
+        )
+        registry.set_gauge(
+            "repro_executor_peak_temp_bytes",
+            result.peak_temp_bytes,
+            relation=relation,
+        )
+        # Hit/miss deltas rather than totals: a shared serving cache
+        # outlives this run, and its counters must not double-count.
+        after = dictionaries.stats()
+        for stat in ("hits", "misses"):
+            delta = after[stat] - dictionary_stats_before.get(stat, 0)
+            if delta:
+                registry.inc(
+                    f"repro_dictcache_{stat}_total", delta, relation=relation
+                )
 
     # -- execution modes -----------------------------------------------------------
 
@@ -431,6 +502,34 @@ class PlanExecutor:
         node_span: Span,
     ) -> int | None:
         """Interpret one operator; returns grouping output rows (else None)."""
+        registry = self._metrics
+        if not registry.enabled:
+            return self._interpret_op(
+                physical, op, env, result, metrics, dictionaries, node_span
+            )
+        op_started = monotonic()
+        try:
+            return self._interpret_op(
+                physical, op, env, result, metrics, dictionaries, node_span
+            )
+        finally:
+            registry.observe(
+                "repro_executor_op_seconds",
+                monotonic() - op_started,
+                op=op.op_name,
+            )
+            registry.inc("repro_executor_ops_total", op=op.op_name)
+
+    def _interpret_op(
+        self,
+        physical: "PhysicalPlan",
+        op,
+        env: dict[int, Table | Index],
+        result: ExecutionResult,
+        metrics: ExecutionMetrics,
+        dictionaries: DictionaryCache,
+        node_span: Span,
+    ) -> int | None:
         from repro.physical import plan as phys
 
         with self._tracer.span_under(
@@ -474,10 +573,21 @@ class PlanExecutor:
                     f"unknown physical operator {op.op_name!r}"
                 )
             # Shared tail of the grouping operators.
+            if isinstance(op, phys.Reaggregate):
+                regime = op.strategy
+            elif isinstance(op, phys.SortGroupBy):
+                regime = "sort"
+            else:
+                regime = "hash"
             env[op.op_id] = table
             if op.query is not None:
                 result.results[frozenset(op.query)] = table
-            op_span.set(rows_out=table.num_rows)
+            op_span.set(rows_out=table.num_rows, regime=regime)
+            self._metrics.inc(
+                "repro_executor_groupings_total",
+                op=op.op_name,
+                regime=regime,
+            )
             return table.num_rows
 
     # -- operator implementations --------------------------------------------------

@@ -132,6 +132,18 @@ class Table:
         for column in self.column_names:
             self.dictionary(column)
 
+    def drop_dictionaries(self) -> int:
+        """Drop every cached dictionary; returns how many were dropped.
+
+        The eviction path of :meth:`DictionaryCache.evict
+        <repro.engine.dictcache.DictionaryCache.evict>`: after an
+        in-place content change the cached codes are stale and must be
+        rebuilt on next use.
+        """
+        dropped = len(self._dictionaries)
+        self._dictionaries.clear()
+        return dropped
+
     def touch(self, columns: Iterable[str] | None = None) -> int:
         """Read every value of ``columns`` (all when None); return bytes.
 

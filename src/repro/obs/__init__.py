@@ -7,8 +7,15 @@ introspectable:
 * :mod:`repro.obs.tracer` — span trees, counters, histograms, with a
   near-zero-overhead no-op mode (the default everywhere);
 * :mod:`repro.obs.telemetry` — structured optimizer-search telemetry;
+* :mod:`repro.obs.metrics` — the process-wide metrics registry
+  (counters / gauges / labeled exponential-bucket histograms) with
+  Prometheus and JSON export;
 * :mod:`repro.obs.analyze` — EXPLAIN ANALYZE with estimated-vs-actual
   per-node accounting and q-errors;
+* :mod:`repro.obs.history` — the append-only plan-history store and
+  the cross-run q-error calibration report;
+* :mod:`repro.obs.profile` — span trees as collapsed-stack flamegraph
+  profiles and per-operator self-time tables;
 * :mod:`repro.obs.export` — JSONL traces, ASCII span trees, flat
   metrics snapshots.
 
@@ -28,26 +35,66 @@ from repro.obs.export import (
     trace_summary,
     write_jsonl,
 )
+from repro.obs.history import (
+    CalibrationReport,
+    PlanHistoryStore,
+    QErrorStats,
+    plan_fingerprint,
+)
+from repro.obs.metrics import (
+    NOOP_METRICS,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.profile import (
+    ProfileRow,
+    collapsed_stacks,
+    render_self_time_table,
+    self_time_table,
+    to_collapsed,
+    write_collapsed,
+)
 from repro.obs.telemetry import SearchTelemetry
 from repro.obs.tracer import NOOP_TRACER, HistogramStats, NoopTracer, Span, Tracer
 
 __all__ = [
     "AnalyzedNode",
+    "CalibrationReport",
     "HistogramStats",
     "ManualClock",
+    "MetricsRegistry",
+    "NOOP_METRICS",
     "NOOP_TRACER",
+    "NoopMetricsRegistry",
     "NoopTracer",
     "PlanAnalysis",
+    "PlanHistoryStore",
+    "ProfileRow",
+    "QErrorStats",
     "SearchTelemetry",
     "Span",
     "Tracer",
+    "collapsed_stacks",
+    "disable_metrics",
+    "enable_metrics",
     "explain_analyze",
     "format_snapshot",
+    "get_metrics",
     "monotonic",
+    "plan_fingerprint",
     "q_error",
     "read_jsonl",
+    "render_self_time_table",
     "render_span_tree",
+    "self_time_table",
+    "set_metrics",
     "spans_from_dicts",
+    "to_collapsed",
     "trace_summary",
+    "write_collapsed",
     "write_jsonl",
 ]

@@ -37,7 +37,13 @@ def q_error(estimated: float, actual: float) -> float:
 
 @dataclass(frozen=True)
 class AnalyzedNode:
-    """One plan node: optimizer estimates beside engine actuals."""
+    """One plan node: optimizer estimates beside engine actuals.
+
+    ``operator`` and ``regime`` come from the physical operator that
+    computed the node (``hash_group_by``/``sort_group_by``/
+    ``reaggregate``/...; regime ``hash`` or ``sort``) — empty when the
+    span carried no operator detail (e.g. a replayed legacy trace).
+    """
 
     label: str
     depth: int
@@ -49,6 +55,8 @@ class AnalyzedNode:
     q_error: float
     materialized: bool
     required: bool
+    operator: str = ""
+    regime: str = ""
 
     def render(self) -> str:
         indent = "  " * self.depth
@@ -124,6 +132,8 @@ class PlanAnalysis:
                     "q_error": node.q_error,
                     "materialized": node.materialized,
                     "required": node.required,
+                    "operator": node.operator,
+                    "regime": node.regime,
                 }
                 for node in self.nodes
             ],
@@ -137,6 +147,27 @@ def _node_spans_by_label(tracer: Tracer) -> dict[str, list[Span]]:
             label = str(span.attributes.get("node", ""))
             by_label.setdefault(label, []).append(span)
     return by_label
+
+
+#: Physical operators that identify how a node was actually computed.
+_GROUPING_OPS = (
+    "hash_group_by",
+    "sort_group_by",
+    "reaggregate",
+    "cube_expand",
+    "rollup_expand",
+)
+
+
+def _operator_of(tracer: Tracer, span: Span) -> tuple[str, str]:
+    """(operator, regime) from a node span's ``execute.<op>`` children."""
+    for child in tracer.children_of(span):
+        if not child.name.startswith("execute."):
+            continue
+        op = child.name[len("execute."):]
+        if op in _GROUPING_OPS:
+            return op, str(child.attributes.get("regime", ""))
+    return "", ""
 
 
 def explain_analyze(
@@ -176,6 +207,7 @@ def explain_analyze(
         actual_rows = int(span.attributes.get("rows_out", 0)) if span else 0
         actual_bytes = int(span.attributes.get("bytes", 0)) if span else 0
         actual_seconds = span.duration if span else 0.0
+        operator, regime = _operator_of(tracer, span) if span else ("", "")
         nodes.append(
             AnalyzedNode(
                 label=label,
@@ -188,6 +220,8 @@ def explain_analyze(
                 q_error=q_error(est_rows, actual_rows),
                 materialized=subplan.is_materialized,
                 required=bool(subplan.required or subplan.direct_answers),
+                operator=operator,
+                regime=regime,
             )
         )
         for child in subplan.children:

@@ -1,0 +1,419 @@
+"""Process-wide metrics registry: counters, gauges, labeled histograms.
+
+Spans (:mod:`repro.obs.tracer`) answer *where did this one run spend its
+time*; the metrics registry answers *what has this process been doing* —
+aggregate counts, rates, and latency distributions across every
+optimize/execute call, labeled by workload, operator, and regime, in a
+form scrapers understand.  One registry is meant to live for the whole
+process (create one and install it with :func:`set_metrics`, or call
+:func:`enable_metrics`), and every instrumented layer — the executor,
+the optimizer, the cost model's :class:`~repro.costmodel.base.PlanCoster`,
+and the :class:`~repro.engine.dictcache.DictionaryCache` — reports into
+whichever registry it was handed (the process-wide one by default).
+
+Three metric kinds, Prometheus-shaped:
+
+* **counter** — monotonically increasing total (``inc``);
+* **gauge** — a value that goes up and down (``set_gauge``);
+* **histogram** — exponential-bucket distribution with streaming
+  count/sum/min/max and estimated p50/p95/p99 (``observe``).
+
+Export comes in two forms: :meth:`MetricsRegistry.to_prometheus`
+(text exposition format, cumulative ``le`` buckets) and
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.to_json`.
+
+Disabled mode mirrors the tracer's: :data:`NOOP_METRICS` is a shared
+:class:`NoopMetricsRegistry` whose record methods return immediately,
+so instrumented hot paths pay one attribute check (``metrics.enabled``)
+or one no-op method call when metrics are off — the process default.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Exponential bucket growth factor.  Base-2 buckets (one per binary
+#: order of magnitude) keep the bucket table tiny (~60 entries spans
+#: 1 ns .. 30 years) while bounding the relative quantile error at 2x.
+BUCKET_GROWTH = 2.0
+
+#: Bucket index assigned to observations <= 0 (q-errors and durations
+#: are positive; a zero duration lands in the smallest bucket).
+_ZERO_BUCKET = -1075
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _bucket_index(value: float) -> int:
+    """Index ``i`` such that ``2**(i-1) < value <= 2**i``."""
+    if value <= 0.0:
+        return _ZERO_BUCKET
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    if mantissa == 0.5:  # exact power of two: frexp rounds up one bucket
+        return exponent - 1
+    return exponent
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Upper bound of bucket ``index`` (inclusive)."""
+    if index == _ZERO_BUCKET:
+        return 0.0
+    return math.ldexp(1.0, index)
+
+
+@dataclass
+class HistogramValue:
+    """Streaming exponential-bucket summary of one labeled series."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile from the bucket counts.
+
+        The estimate is the geometric midpoint of the bucket holding the
+        q-th observation, clamped to the observed [min, max] — exact for
+        single-bucket series, within the 2x bucket width otherwise.
+        """
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= target:
+                upper = bucket_upper_bound(index)
+                lower = bucket_upper_bound(index - 1) if index != _ZERO_BUCKET else 0.0
+                mid = math.sqrt(lower * upper) if lower > 0.0 else upper
+                return min(max(mid, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - float-rounding guard
+
+    def as_dict(self) -> dict[str, float]:
+        if self.count == 0:
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.total / self.count,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+#: One labeled series: sorted (label, value) pairs -> scalar or histogram.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+@dataclass
+class MetricFamily:
+    """All series of one metric name, sharing a kind and help text."""
+
+    name: str
+    kind: str
+    help: str = ""
+    series: dict[LabelKey, float | HistogramValue] = field(default_factory=dict)
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _valid_name(name: str) -> bool:
+    if not name:
+        return False
+    head, tail = name[0], name[1:]
+    if not (head.isalpha() or head in "_:"):
+        return False
+    return all(ch.isalnum() or ch in "_:" for ch in tail)
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges, and histograms.
+
+    All record methods take the metric name plus free-form keyword
+    labels; a (name, label-set) pair addresses one series.  A name is
+    bound to one kind by its first use (``inc`` -> counter,
+    ``set_gauge`` -> gauge, ``observe`` -> histogram); mixing kinds on
+    one name raises, matching Prometheus semantics.
+
+    The registry is a single-lock design: every record call is one
+    dict lookup plus a float add under the lock.  That is deliberate —
+    the instrumented layers record per *operator*, not per row, so
+    contention is negligible next to the kernels the operators run.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help_text: str) -> MetricFamily:
+        """Find or construct the family; callers hold the lock and
+        (re-)insert the returned object into ``_families`` themselves,
+        keeping every registry mutation lexically inside a locked block.
+        """
+        family = self._families.get(name)
+        if family is None:
+            if not _valid_name(name):
+                raise ValueError(f"invalid metric name {name!r}")
+            return MetricFamily(name, kind, help_text)
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        if help_text and not family.help:
+            family.help = help_text
+        return family
+
+    def describe(self, name: str, kind: str, help_text: str) -> None:
+        """Pre-register a metric's kind and help text (optional)."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        with self._lock:
+            self._families[name] = self._family(name, kind, help_text)
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        """Add ``value`` (default 1) to a counter series."""
+        with self._lock:
+            family = self._family(name, "counter", "")
+            self._families[name] = family
+            key = _label_key(labels)
+            family.series[key] = float(family.series.get(key, 0.0)) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge series to ``value``."""
+        with self._lock:
+            family = self._family(name, "gauge", "")
+            self._families[name] = family
+            family.series[_label_key(labels)] = float(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one observation into a histogram series."""
+        with self._lock:
+            family = self._family(name, "histogram", "")
+            self._families[name] = family
+            key = _label_key(labels)
+            histogram = family.series.get(key)
+            if not isinstance(histogram, HistogramValue):
+                histogram = family.series[key] = HistogramValue()
+            histogram.add(value)
+
+    # -- reading -----------------------------------------------------------------
+
+    def value(self, name: str, **labels: object) -> float:
+        """Current value of a counter/gauge series (0.0 if unseen)."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0.0
+            entry = family.series.get(_label_key(labels), 0.0)
+            if isinstance(entry, HistogramValue):
+                raise ValueError(f"metric {name!r} is a histogram")
+            return float(entry)
+
+    def histogram(self, name: str, **labels: object) -> HistogramValue:
+        """The histogram series (an empty one if unseen)."""
+        with self._lock:
+            family = self._families.get(name)
+            entry = (
+                family.series.get(_label_key(labels)) if family else None
+            )
+            if entry is None:
+                return HistogramValue()
+            if not isinstance(entry, HistogramValue):
+                raise ValueError(f"metric {name!r} is not a histogram")
+            return entry
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready view: name -> {kind, help, series: [...]}."""
+        with self._lock:
+            families = {}
+            for name in sorted(self._families):
+                family = self._families[name]
+                series = []
+                for key in sorted(family.series):
+                    entry = family.series[key]
+                    series.append(
+                        {
+                            "labels": dict(key),
+                            "value": (
+                                entry.as_dict()
+                                if isinstance(entry, HistogramValue)
+                                else entry
+                            ),
+                        }
+                    )
+                families[name] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "series": series,
+                }
+            return families
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def flat_snapshot(self) -> dict[str, float]:
+        """One flat ``name{labels}`` -> number dict (for terminal output)."""
+        flat: dict[str, float] = {}
+        with self._lock:
+            for name, family in self._families.items():
+                for key, entry in family.series.items():
+                    suffix = (
+                        "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+                        if key
+                        else ""
+                    )
+                    if isinstance(entry, HistogramValue):
+                        for stat, value in entry.as_dict().items():
+                            flat[f"{name}{suffix}.{stat}"] = value
+                    else:
+                        flat[f"{name}{suffix}"] = entry
+        return flat
+
+    # -- Prometheus exposition ---------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Text exposition format (version 0.0.4), parse-checkable.
+
+        Histograms expose cumulative ``_bucket`` series with ``le``
+        labels (``+Inf`` last), plus ``_sum`` and ``_count`` — the
+        standard shape scrapers aggregate and quantile server-side.
+        """
+        return "\n".join(self._prometheus_lines()) + "\n"
+
+    def _prometheus_lines(self) -> Iterator[str]:
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                if family.help:
+                    yield f"# HELP {name} {family.help}"
+                yield f"# TYPE {name} {family.kind}"
+                for key in sorted(family.series):
+                    entry = family.series[key]
+                    if isinstance(entry, HistogramValue):
+                        yield from self._histogram_lines(name, key, entry)
+                    else:
+                        yield f"{name}{_prometheus_labels(key)} {_fmt(entry)}"
+
+    def _histogram_lines(
+        self, name: str, key: LabelKey, histogram: HistogramValue
+    ) -> Iterator[str]:
+        cumulative = 0
+        for index in sorted(histogram.buckets):
+            cumulative += histogram.buckets[index]
+            bound = bucket_upper_bound(index)
+            labels = _prometheus_labels(key + (("le", _fmt(bound)),))
+            yield f"{name}_bucket{labels} {cumulative}"
+        labels = _prometheus_labels(key + (("le", "+Inf"),))
+        yield f"{name}_bucket{labels} {histogram.count}"
+        yield f"{name}_sum{_prometheus_labels(key)} {_fmt(histogram.total)}"
+        yield f"{name}_count{_prometheus_labels(key)} {histogram.count}"
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every family and series."""
+        with self._lock:
+            self._families.clear()
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prometheus_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    escaped = ",".join(
+        '{}="{}"'.format(
+            k, str(v).replace("\\", "\\\\").replace('"', '\\"')
+        )
+        for k, v in key
+    )
+    return "{" + escaped + "}"
+
+
+class NoopMetricsRegistry(MetricsRegistry):
+    """Disabled registry: record methods return immediately."""
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        return None
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        return None
+
+    def describe(self, name: str, kind: str, help_text: str) -> None:
+        return None
+
+
+#: Shared disabled registry — the process default.
+NOOP_METRICS = NoopMetricsRegistry()
+
+_GLOBAL_LOCK = threading.Lock()
+_global_metrics: MetricsRegistry = NOOP_METRICS
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry (the no-op singleton unless enabled)."""
+    return _global_metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide registry; returns it."""
+    global _global_metrics
+    with _GLOBAL_LOCK:
+        _global_metrics = registry
+    return registry
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install (or return) a recording process-wide registry."""
+    global _global_metrics
+    with _GLOBAL_LOCK:
+        if not _global_metrics.enabled:
+            _global_metrics = MetricsRegistry()
+        return _global_metrics
+
+
+def disable_metrics() -> None:
+    """Restore the no-op process-wide registry."""
+    set_metrics(NOOP_METRICS)

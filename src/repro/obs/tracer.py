@@ -22,11 +22,13 @@ Two implementations share the interface:
 from __future__ import annotations
 
 import json
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.obs.clock import monotonic
+from repro.obs.metrics import _ZERO_BUCKET, _bucket_index, bucket_upper_bound
 
 #: Sentinel meaning "derive the parent from the current thread's stack".
 _STACK_PARENT = object()
@@ -143,18 +145,28 @@ class _SpanContext:
 
 @dataclass
 class HistogramStats:
-    """Streaming summary of one observed value series."""
+    """Streaming summary of one observed value series.
+
+    Beyond count/total/min/max/mean, observations land in exponential
+    (base-2) buckets — the same scheme as
+    :class:`repro.obs.metrics.HistogramValue` — so p50/p95/p99 can be
+    estimated without keeping the raw series.  ``as_dict()`` keeps its
+    original keys and gains the three percentile estimates.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    buckets: dict[int, int] = field(default_factory=dict)
 
     def add(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -162,15 +174,40 @@ class HistogramStats:
             return 0.0
         return self.total / self.count
 
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (geometric bucket midpoint, clamped)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= target:
+                upper = bucket_upper_bound(index)
+                lower = (
+                    bucket_upper_bound(index - 1)
+                    if index != _ZERO_BUCKET
+                    else 0.0
+                )
+                mid = math.sqrt(lower * upper) if lower > 0.0 else upper
+                return min(max(mid, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - float-rounding guard
+
     def as_dict(self) -> dict[str, float]:
         if self.count == 0:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+            }
         return {
             "count": self.count,
             "total": self.total,
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -85,14 +85,14 @@ class TestDictionaryCache:
         cache.codes(table, "a")
         cache.codes(table, "a")
         cache.codes(table, "b")
-        assert cache.stats() == {"hits": 1, "misses": 2}
+        assert cache.stats() == {"hits": 1, "misses": 2, "evictions": 0}
 
     def test_precomputed_dictionary_is_a_hit(self):
         table = self.make_table()
         table.build_dictionaries()
         cache = DictionaryCache()
         cache.codes(table, "a")
-        assert cache.stats() == {"hits": 1, "misses": 0}
+        assert cache.stats() == {"hits": 1, "misses": 0, "evictions": 0}
 
     def test_distinct_tables_not_conflated(self):
         t1 = Table("t1", {"a": [1, 2]})

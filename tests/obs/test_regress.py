@@ -1,0 +1,175 @@
+"""Tests for bench-compare: thresholds, noise floor, exit contract."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from regress import (  # noqa: E402
+    SUITES,
+    Finding,
+    compare_payloads,
+    main,
+)
+
+
+def payload(seconds: float, match: bool = True) -> dict:
+    return {
+        "smoke": False,
+        "workloads": {
+            "sales": {
+                "rows": 120_000,
+                "chosen_seconds": seconds,
+                "results_match": match,
+            }
+        },
+    }
+
+
+class TestComparePayloads:
+    def test_identical_payloads_are_clean(self):
+        base = payload(0.5)
+        assert compare_payloads("s", base, payload(0.5)) == []
+
+    def test_seeded_2x_slowdown_is_a_hard_failure(self):
+        findings = compare_payloads("s", payload(0.5), payload(1.0))
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.kind == "timing"
+        assert finding.level == "fail"
+        assert finding.ratio == pytest.approx(2.0)
+
+    def test_moderate_drift_is_advisory(self):
+        findings = compare_payloads("s", payload(0.5), payload(0.7))
+        assert [f.level for f in findings] == ["warn"]
+
+    def test_small_drift_is_clean(self):
+        assert compare_payloads("s", payload(0.5), payload(0.6)) == []
+
+    def test_improvements_never_fire(self):
+        assert compare_payloads("s", payload(1.0), payload(0.1)) == []
+
+    def test_noise_floor_skips_tiny_timings(self):
+        # 3ms -> 9ms is 3x but both sit under the 20ms floor.
+        assert compare_payloads("s", payload(0.003), payload(0.009)) == []
+
+    def test_noise_floor_does_not_mask_real_regressions(self):
+        # 15ms -> 45ms crosses the floor on the current side.
+        findings = compare_payloads("s", payload(0.015), payload(0.045))
+        assert [f.level for f in findings] == ["fail"]
+
+    def test_flag_regression_is_always_fatal(self):
+        findings = compare_payloads(
+            "s", payload(0.5, match=True), payload(0.5, match=False)
+        )
+        assert [(f.kind, f.level) for f in findings] == [("flag", "fail")]
+
+    def test_missing_leaf_is_advisory(self):
+        current = payload(0.5)
+        del current["workloads"]["sales"]["results_match"]
+        findings = compare_payloads("s", payload(0.5), current)
+        assert [(f.kind, f.level) for f in findings] == [
+            ("structure", "warn")
+        ]
+
+    def test_context_keys_are_ignored(self):
+        base = payload(0.5)
+        current = payload(0.5)
+        current["smoke"] = True
+        current["workloads"]["sales"]["rows"] = 999
+        assert compare_payloads("s", base, current) == []
+
+    def test_counter_leaves_are_ignored(self):
+        base = payload(0.5)
+        base["workloads"]["sales"]["queries"] = 10
+        current = payload(0.5)
+        current["workloads"]["sales"]["queries"] = 99
+        assert compare_payloads("s", base, current) == []
+
+
+class TestExitContract:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_clean_compare_exits_0(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(0.5))
+        cur = self.write(tmp_path, "cur.json", payload(0.5))
+        assert main(["--baseline", str(base), "--current", str(cur)]) == 0
+
+    def test_seeded_2x_exits_2(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(0.5))
+        cur = self.write(tmp_path, "cur.json", payload(1.0))
+        assert main(["--baseline", str(base), "--current", str(cur)]) == 2
+
+    def test_warn_only_exits_1(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(0.5))
+        cur = self.write(tmp_path, "cur.json", payload(0.7))
+        assert main(["--baseline", str(base), "--current", str(cur)]) == 1
+
+    def test_advisory_caps_exit_at_0(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(0.5))
+        cur = self.write(tmp_path, "cur.json", payload(1.0))
+        assert (
+            main(
+                [
+                    "--baseline", str(base),
+                    "--current", str(cur),
+                    "--advisory",
+                ]
+            )
+            == 0
+        )
+
+    def test_bad_thresholds_exit_2(self, capsys):
+        assert main(["--warn", "0.5"]) == 2
+        assert main(["--warn", "2.0", "--fail", "1.5"]) == 2
+
+    def test_unpaired_file_args_exit_2(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(0.5))
+        assert main(["--baseline", str(base)]) == 2
+
+    def test_unknown_suite_exits_2(self, capsys):
+        assert main(["--suites", "nope"]) == 2
+
+    def test_report_file_is_written(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", payload(0.5))
+        cur = self.write(tmp_path, "cur.json", payload(1.0))
+        report = tmp_path / "report.json"
+        main(
+            [
+                "--baseline", str(base),
+                "--current", str(cur),
+                "--report", str(report),
+            ]
+        )
+        findings = json.loads(report.read_text())["findings"]
+        assert findings and findings[0]["level"] == "fail"
+
+    def test_committed_baselines_compare_clean_against_themselves(
+        self, capsys
+    ):
+        """On an unmodified checkout, every committed baseline diffs
+        clean against itself (the no --run path reuses the baselines)."""
+        present = [
+            name
+            for name, (_, baseline) in SUITES.items()
+            if (REPO_ROOT / baseline).exists()
+        ]
+        assert present, "no committed baselines found"
+        assert main(["--suites", ",".join(present)]) == 0
+
+
+class TestFindingRendering:
+    def test_render_shapes(self):
+        timing = Finding("s", "a.b_seconds", "timing", "fail", 0.5, 1.0, 2.0)
+        assert "2.00x" in timing.render() and "FAIL" in timing.render()
+        flag = Finding("s", "a.ok", "flag", "fail", True, False)
+        assert "True -> False" in flag.render()
+        structure = Finding("s", "a.b", "structure", "warn", 1.0, None)
+        assert "missing" in structure.render()

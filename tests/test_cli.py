@@ -341,3 +341,165 @@ class TestPhysicalExplain:
         assert code == 0
         out = capsys.readouterr().out
         assert "-- PHYSICAL --" in out
+
+
+class TestTraceMetricsExport:
+    def test_metrics_flag_prints_registry_snapshot(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "registry snapshot" in out
+        assert "repro_executor_runs_total" in out
+
+    def test_output_alias_for_out(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+    def test_prom_out_writes_exposition(self, tmp_path, capsys):
+        prom_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "trace",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--prom-out", str(prom_path),
+            ]
+        )
+        assert code == 0
+        text = prom_path.read_text()
+        assert "# TYPE repro_executor_runs_total counter" in text
+        assert 'le="+Inf"' in text
+
+
+class TestFlamegraph:
+    def test_live_run_prints_table_and_writes_collapsed(
+        self, tmp_path, capsys
+    ):
+        out_path = tmp_path / "profile.collapsed"
+        code = main(
+            [
+                "flamegraph",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "self ms" in stdout
+        assert "collapsed stacks" in stdout
+        for line in out_path.read_text().splitlines():
+            path, weight = line.rsplit(" ", 1)
+            assert path.startswith("trace")
+            assert int(weight) > 0
+
+    def test_from_jsonl_replays_a_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--workload", "sales",
+                    "--rows", "2000",
+                    "--out", str(trace_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["flamegraph", "--from-jsonl", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self ms" in out
+        assert "optimize" in out
+
+    def test_requires_a_source(self, capsys):
+        assert main(["flamegraph"]) == 2
+        assert "--workload" in capsys.readouterr().err
+
+
+class TestHistoryAndCalibration:
+    def test_explain_analyze_appends_history(self, tmp_path, capsys):
+        import json
+
+        history = tmp_path / "history.jsonl"
+        code = main(
+            [
+                "explain",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--analyze",
+                "--history", str(history),
+            ]
+        )
+        assert code == 0
+        assert "appended run record" in capsys.readouterr().out
+        records = [
+            json.loads(line)
+            for line in history.read_text().splitlines()
+            if line
+        ]
+        assert len(records) == 1
+        assert records[0]["relation"] == "sales"
+        assert records[0]["nodes"]
+
+    def test_calibration_reads_history(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        for parallelism in ("1", "2"):
+            assert (
+                main(
+                    [
+                        "explain",
+                        "--workload", "sales",
+                        "--rows", "2000",
+                        "--analyze",
+                        "--parallelism", parallelism,
+                        "--history", str(history),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert main(["calibration", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "calibration over 2 runs" in out
+        assert "q-err gmean" in out
+
+    def test_calibration_json_format(self, tmp_path, capsys):
+        import json
+
+        history = tmp_path / "history.jsonl"
+        main(
+            [
+                "explain",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--analyze",
+                "--history", str(history),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["calibration", str(history), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"] == 1
+        assert payload["groups"]
+
+    def test_calibration_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["calibration", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
