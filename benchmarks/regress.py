@@ -60,6 +60,7 @@ SUITES: dict[str, tuple[str, str]] = {
     "physical": ("bench_physical.py", "BENCH_physical.json"),
     "analysis": ("bench_analysis.py", "BENCH_analysis.json"),
     "obs": ("bench_obs.py", "BENCH_obs.json"),
+    "morsel": ("bench_morsel.py", "BENCH_morsel.json"),
 }
 
 #: Relative timing tolerance that flags advisory drift / hard failure.

@@ -232,8 +232,16 @@ class Session:
         return optimizer.optimize(self.base_table, queries)
 
     def _schedule_steps(
-        self, plan: LogicalPlan, schedule: str, parallelism: int
+        self,
+        plan: LogicalPlan,
+        schedule: str,
+        parallelism: int,
+        mode: str = "auto",
     ) -> list[Step] | None:
+        # Parallel modes (and ``auto`` with workers available, which may
+        # resolve to one) schedule themselves from the dependency graph.
+        if mode in ("wavefront", "morsel"):
+            return None
         if parallelism > 1:
             return None
         if schedule == "storage":
@@ -250,6 +258,7 @@ class Session:
         tracer: Tracer | None,
         parallelism: int,
         memory_budget_bytes: float | None,
+        mode: str = "auto",
     ) -> PlanExecutor:
         return PlanExecutor(
             self.catalog,
@@ -261,6 +270,7 @@ class Session:
             estimator=self.estimator,
             memory_budget_bytes=memory_budget_bytes,
             metrics=self.metrics,
+            mode=mode,
         )
 
     def execute(
@@ -271,6 +281,7 @@ class Session:
         tracer: Tracer | None = None,
         parallelism: int = 1,
         memory_budget_bytes: float | None = None,
+        mode: str = "auto",
     ) -> ExecutionResult:
         """Execute a logical plan.
 
@@ -282,22 +293,29 @@ class Session:
             plan: the plan to run.
             schedule: 'storage' follows the Section 4.4.1 BF/DF marking;
                 'depth_first' uses plain pre-order.  Ignored when
-                ``parallelism >= 2``: the parallel executor derives its
-                own wavefront schedule from the plan.
+                execution is parallel: wavefront and morsel runs derive
+                their own wavefront schedule from the plan.
             aggregates: aggregate list (COUNT(*) by default).
             tracer: span tracer for this run only (defaults to the
                 session tracer).
-            parallelism: worker threads for wavefront execution; 1 runs
+            parallelism: worker threads for parallel execution; 1 runs
                 the linear schedule serially.  Parallel runs produce
                 bit-identical results and equal metrics totals.
             memory_budget_bytes: plan-wide transient-memory budget for
                 the lowering; groupings estimated over it are demoted to
                 the sort regime and then to partitioned execution.
                 Results stay bit-identical.
+            mode: execution mode — 'auto' (default), 'serial',
+                'wavefront', or 'morsel'.  'auto' resolves from the
+                workload: serial for ``parallelism=1`` or small inputs
+                (so parallel execution never regresses them), morsel-
+                driven two-phase aggregation when the base relation and
+                grouping count clear the cost model's thresholds.  The
+                resolved mode is reported on ``result.metrics.mode``.
         """
-        steps = self._schedule_steps(plan, schedule, parallelism)
+        steps = self._schedule_steps(plan, schedule, parallelism, mode)
         executor = self._executor(
-            aggregates, tracer, parallelism, memory_budget_bytes
+            aggregates, tracer, parallelism, memory_budget_bytes, mode
         )
         return executor.execute(plan, steps)
 
@@ -308,6 +326,7 @@ class Session:
         aggregates: list[AggregateSpec] | None = None,
         parallelism: int = 1,
         memory_budget_bytes: float | None = None,
+        mode: str = "auto",
     ) -> "PhysicalPlan":
         """Lower a logical plan to its physical form without running it.
 
@@ -315,9 +334,9 @@ class Session:
         :class:`~repro.physical.plan.PhysicalPlan` that ``execute``
         would interpret (render it with ``.render()``).
         """
-        steps = self._schedule_steps(plan, schedule, parallelism)
+        steps = self._schedule_steps(plan, schedule, parallelism, mode)
         executor = self._executor(
-            aggregates, None, parallelism, memory_budget_bytes
+            aggregates, None, parallelism, memory_budget_bytes, mode
         )
         return executor.lower(plan, steps)
 
@@ -351,6 +370,7 @@ class Session:
         plan: LogicalPlan,
         schedule: str = "storage",
         parallelism: int = 1,
+        mode: str = "auto",
         history=None,
     ):
         """EXPLAIN ANALYZE: execute the plan instrumented and report
@@ -359,7 +379,8 @@ class Session:
         Args:
             plan: the plan to analyze.
             schedule: execution schedule, as in :meth:`execute`.
-            parallelism: worker threads for wavefront execution.
+            parallelism: worker threads for parallel execution.
+            mode: execution mode, as in :meth:`execute`.
             history: a :class:`repro.obs.history.PlanHistoryStore` (or a
                 path to one) to append this run's estimated-vs-actual
                 record to, keyed by the plan's fingerprint.
@@ -371,7 +392,8 @@ class Session:
         from repro.obs.analyze import explain_analyze
 
         analysis = explain_analyze(
-            self, plan, schedule=schedule, parallelism=parallelism
+            self, plan, schedule=schedule, parallelism=parallelism,
+            mode=mode,
         )
         if history is not None:
             from repro.obs.history import PlanHistoryStore

@@ -248,7 +248,10 @@ def cmd_explain(args) -> int:
     if args.analyze:
         print("\n-- EXPLAIN ANALYZE --")
         analysis = session.explain_analyze(
-            result.plan, parallelism=args.parallelism, history=args.history
+            result.plan,
+            parallelism=args.parallelism,
+            mode=args.mode,
+            history=args.history,
         )
         print(analysis.render())
         if args.history:
@@ -256,14 +259,49 @@ def cmd_explain(args) -> int:
     else:
         print("\n-- EXPLAIN --")
         print(session.explain(result.plan).render())
+    if args.history:
+        _print_calibration_corrections(session, args.history)
     print("\n-- PHYSICAL --")
     physical = session.lower(
         result.plan,
         parallelism=args.parallelism,
+        mode=args.mode,
         memory_budget_bytes=args.memory_budget_bytes,
     )
     print(physical.render())
     return 0
+
+
+def _print_calibration_corrections(session, history: str) -> None:
+    """Active per-(operator, regime) cost corrections from run history.
+
+    The ``--history`` store accumulates estimated-vs-actual records;
+    rolled through :meth:`EngineCostModel.with_calibration` they become
+    the multiplicative factors the next plan choice would be charged
+    with — shown here so ``explain --history`` closes the loop.
+    """
+    from repro.costmodel.engine_model import EngineCostModel
+
+    path = Path(history)
+    if not path.exists():
+        return
+    report = PlanHistoryStore(path).calibration(
+        relation=session.base_table
+    )
+    if report.runs == 0:
+        return
+    model = EngineCostModel(
+        session.estimator,
+        catalog=session.catalog,
+        base_table=session.base_table,
+    ).with_calibration(report)
+    corrections = model.corrections
+    print(f"\n-- CALIBRATION ({report.runs} runs) --")
+    if not corrections:
+        print("no per-(operator, regime) corrections active")
+        return
+    for (operator, regime), factor in sorted(corrections.items()):
+        print(f"{operator} [{regime or '-'}]  cost x{factor:.2f}")
 
 
 def cmd_trace(args) -> int:
@@ -280,6 +318,7 @@ def cmd_trace(args) -> int:
         execution = session.execute(
             result.plan,
             parallelism=args.parallelism,
+            mode=args.mode,
             memory_budget_bytes=args.memory_budget_bytes,
         )
     print(render_span_tree(tracer.spans))
@@ -321,6 +360,7 @@ def cmd_flamegraph(args) -> int:
             session.execute(
                 result.plan,
                 parallelism=args.parallelism,
+                mode=args.mode,
                 memory_budget_bytes=args.memory_budget_bytes,
             )
         spans = tracer.spans
@@ -397,6 +437,7 @@ def cmd_analyze_plan(args) -> int:
     physical = session.lower(
         result.plan,
         parallelism=args.parallelism,
+        mode=args.mode,
         memory_budget_bytes=args.memory_budget_bytes,
     )
     context = AnalysisContext(
@@ -613,6 +654,13 @@ def build_parser() -> argparse.ArgumentParser:
             type=_positive_int,
             default=1,
             help="worker threads for wavefront plan execution (default 1)",
+        )
+        p.add_argument(
+            "--mode",
+            choices=("auto", "serial", "wavefront", "morsel"),
+            default="auto",
+            help="execution mode; auto picks serial or morsel from the "
+            "engine cost model (default auto)",
         )
         p.add_argument(
             "--memory-budget-bytes",

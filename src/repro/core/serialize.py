@@ -120,6 +120,7 @@ def physical_plan_to_dict(plan: "PhysicalPlan") -> dict[str, object]:
     payload: dict[str, object] = {
         "physical_version": PHYSICAL_FORMAT_VERSION,
         "relation": plan.relation,
+        "mode": plan.mode,
         "operators": [op.to_dict() for op in plan.operators],
         "pipelines": [
             {
@@ -227,6 +228,9 @@ def physical_plan_from_dict(payload: dict[str, object]) -> "PhysicalPlan":
             memory_budget_bytes=(
                 float(budget) if budget is not None else None
             ),
+            # Pre-morsel payloads have no mode; "" derives it from the
+            # wave schedule, preserving their meaning.
+            mode=str(payload.get("mode", "")),
         )
     except PhysicalPlanError as error:
         raise PlanError(

@@ -15,12 +15,16 @@ wall-clock seconds; only relative costs matter for plan choice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.plan import NodeKind, PlanNode
 from repro.engine.catalog import Catalog
+from repro.engine.morsel import morsel_count
 from repro.stats.cardinality import CardinalityEstimator
 from repro.stats.whatif import WhatIfRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.history import CalibrationReport
 
 #: Cost per byte read from a stored table.
 READ_BYTE = 1.0
@@ -56,6 +60,24 @@ HASH_SLOT_BYTES = 16.0
 #: Bytes of transient state per input row in the sort regime (the int64
 #: composite-code array plus its sorted copy).
 SORT_ROW_BYTES = 16.0
+#: Minimum base-relation rows before morsel execution is worth its
+#: scheduling overhead; auto mode falls back to serial below it (the
+#: fix for wavefront's small-workload ``speedup_parallel < 1`` losses).
+MORSEL_MIN_ROWS = 32_768
+#: Minimum groupings sharing a scan before morsel batching pays off —
+#: with a single grouping there is no scan sharing to win.
+MORSEL_MIN_GROUPINGS = 2
+#: Extra CPU per row per grouping the two-phase partial/merge pass
+#: costs over the single-pass kernels (per-morsel boundary detection
+#: plus the final merge by key code).
+MORSEL_PARTIAL_CPU = 8.0
+#: Fixed scheduling cost per morsel dispatched to the worker pool.
+MORSEL_DISPATCH_COST = 50_000.0
+#: Calibration guard rails: a per-(operator, regime) correction factor
+#: needs at least this many observed runs, and is clamped to this band,
+#: so a short or noisy history cannot invert the model's decisions.
+CALIBRATION_MIN_RUNS = 3
+CALIBRATION_FACTOR_BAND = (0.2, 5.0)
 
 
 @dataclass(frozen=True)
@@ -79,6 +101,74 @@ class GroupingChoice:
     mem_bytes: float
 
 
+@dataclass(frozen=True)
+class ModeChoice:
+    """The costed execution-mode decision for one plan run.
+
+    Attributes:
+        mode: ``'serial'`` or ``'morsel'`` — auto mode never picks
+            ``'wavefront'``: node-level threads contend on the memory
+            bus and the GIL, so its modeled cost equals serial's.
+        morsels: morsel count the morsel mode would use.
+        serial_cost / wavefront_cost / morsel_cost: modeled costs.
+        reason: one-line explanation of the decision (EXPLAIN output).
+    """
+
+    mode: str
+    morsels: int
+    serial_cost: float
+    wavefront_cost: float
+    morsel_cost: float
+    reason: str
+
+
+def calibration_corrections(
+    report: "CalibrationReport",
+) -> dict[tuple[str, str], float]:
+    """Per-(operator, regime) multiplicative factors from run history.
+
+    A group with a consistent estimate bias and enough runs yields its
+    q-error geometric mean as the factor — multiplied in when the model
+    under-estimates, divided out when it over-estimates — clamped to
+    :data:`CALIBRATION_FACTOR_BAND`.  Mixed-bias or thin groups yield
+    no correction.
+    """
+    lower, upper = CALIBRATION_FACTOR_BAND
+    factors: dict[tuple[str, str], float] = {}
+    for (operator, regime), stats in report.groups.items():
+        if stats.count < CALIBRATION_MIN_RUNS:
+            continue
+        gmean = stats.geometric_mean
+        if gmean <= 1.0:
+            continue
+        if stats.bias == "under":
+            factor = gmean
+        elif stats.bias == "over":
+            factor = 1.0 / gmean
+        else:
+            continue
+        factors[(operator, regime)] = min(max(factor, lower), upper)
+    return factors
+
+
+def default_execution_mode(
+    base_rows: int, n_groupings: int, parallelism: int
+) -> str:
+    """Threshold-only auto mode choice when no cost model is bound.
+
+    Mirrors :meth:`EngineCostModel.execution_mode_choice`'s floors:
+    parallel execution must clear both a minimum input size and a
+    minimum number of scan-sharing groupings, otherwise serial wins.
+    """
+    if (
+        parallelism >= 1
+        and base_rows >= MORSEL_MIN_ROWS
+        and n_groupings >= MORSEL_MIN_GROUPINGS
+    ):
+        return "morsel"
+    return "serial"
+
+
 class EngineCostModel:
     """Byte + CPU + materialization cost model over the engine.
 
@@ -89,6 +179,9 @@ class EngineCostModel:
         base_table: name of the base relation R in the catalog.
         whatif: registry where hypothetical intermediate tables are
             declared as they are first costed (mirrors the what-if API).
+        corrections: per-(operator, regime) multiplicative cost factors
+            from :func:`calibration_corrections`; normally installed via
+            :meth:`with_calibration` rather than passed directly.
     """
 
     def __init__(
@@ -99,11 +192,13 @@ class EngineCostModel:
         whatif: WhatIfRegistry | None = None,
         base_row_width: float | None = None,
         use_indexes: bool = True,
+        corrections: dict[tuple[str, str], float] | None = None,
     ) -> None:
         self._estimator = estimator
         self._catalog = catalog
         self._base_table = base_table
         self._use_indexes = use_indexes
+        self._corrections = dict(corrections or {})
         if base_row_width is not None:
             self._base_row_width = float(base_row_width)
         elif catalog is not None and base_table is not None:
@@ -131,6 +226,38 @@ class EngineCostModel:
     def use_indexes(self) -> bool:
         """Whether covering indexes participate in scan costing."""
         return self._use_indexes
+
+    # -- calibration -----------------------------------------------------------
+
+    @property
+    def corrections(self) -> dict[tuple[str, str], float]:
+        """Active per-(operator, regime) calibration factors (a copy)."""
+        return dict(self._corrections)
+
+    def _corrected(self, cost: float, operator: str, regime: str) -> float:
+        return cost * self._corrections.get((operator, regime), 1.0)
+
+    def with_calibration(
+        self, report: "CalibrationReport"
+    ) -> "EngineCostModel":
+        """A copy of this model with history-derived cost corrections.
+
+        Closes the estimate→actual loop: per-(operator, regime) q-error
+        bias accumulated by ``explain_analyze(history=...)`` runs (the
+        :class:`~repro.obs.history.CalibrationReport`) becomes
+        multiplicative factors on the matching operator costs, so a
+        regime the model consistently under-estimates gets charged more
+        on the next plan choice.  The receiver is left untouched.
+        """
+        return EngineCostModel(
+            self._estimator,
+            catalog=self._catalog,
+            base_table=self._base_table,
+            whatif=self.whatif,
+            base_row_width=self._base_row_width,
+            use_indexes=self._use_indexes,
+            corrections=calibration_corrections(report),
+        )
 
     # -- scan model -----------------------------------------------------------
 
@@ -231,6 +358,8 @@ class EngineCostModel:
             hash_cost = float("inf")
         else:
             hash_cost = rows * ncols * HASH_CPU + domain * BINCOUNT_INIT_CPU
+        hash_cost = self._corrected(hash_cost, "hash_group_by", "hash")
+        sort_cost = self._corrected(sort_cost, "sort_group_by", "sort")
         strategy = "hash" if hash_cost <= sort_cost else "sort"
         mem = (
             domain * HASH_SLOT_BYTES + rows * 8.0
@@ -266,6 +395,60 @@ class EngineCostModel:
     def materialize_op_cost(self, columns: frozenset[str]) -> float:
         """Cost of one physical Materialize (write + key encode)."""
         return self._materialize_cost(columns)
+
+    def execution_mode_choice(
+        self, n_groupings: int, parallelism: int
+    ) -> ModeChoice:
+        """Pick the execution mode for a plan of ``n_groupings`` nodes.
+
+        Serial pays one full row-store pass *per grouping*; morsel
+        execution pays that pass once per morsel — shared by every
+        grouping in the batch — plus two-phase overhead (partial states
+        and the merge) and per-morsel scheduling.  Below the row /
+        grouping floors, or when the overhead exceeds the shared-scan
+        savings, serial wins: this is the rows×groupings threshold that
+        keeps ``speedup_parallel >= 1`` on small workloads.
+        """
+        rows = max(float(self._estimator.base_rows), 0.0)
+        groupings = max(int(n_groupings), 1)
+        scan = rows * self._base_row_width * READ_BYTE
+        group_cpu = rows * HASH_CPU
+        serial_cost = groupings * (scan + group_cpu)
+        # Node-level thread waves contend on the memory bus (and, for
+        # small kernels, the GIL): no modeled win over serial.
+        wavefront_cost = serial_cost
+        morsels = morsel_count(int(rows), parallelism)
+        morsel_cost = (
+            scan
+            + groupings * (group_cpu + rows * MORSEL_PARTIAL_CPU)
+            + morsels * MORSEL_DISPATCH_COST
+        )
+        if rows < MORSEL_MIN_ROWS:
+            mode, reason = "serial", (
+                f"base rows {int(rows)} below the morsel floor "
+                f"{MORSEL_MIN_ROWS}"
+            )
+        elif groupings < MORSEL_MIN_GROUPINGS:
+            mode, reason = "serial", (
+                f"{groupings} grouping(s): no scan sharing to win"
+            )
+        elif morsel_cost >= serial_cost:
+            mode, reason = "serial", (
+                "two-phase overhead exceeds shared-scan savings"
+            )
+        else:
+            mode, reason = "morsel", (
+                f"{groupings} groupings share each of {morsels} "
+                f"morsel scans"
+            )
+        return ModeChoice(
+            mode=mode,
+            morsels=morsels,
+            serial_cost=serial_cost,
+            wavefront_cost=wavefront_cost,
+            morsel_cost=morsel_cost,
+            reason=reason,
+        )
 
     # -- public API -------------------------------------------------------------
 

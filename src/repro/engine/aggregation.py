@@ -17,8 +17,8 @@ computed from a materialized ancestor instead of the base relation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -371,8 +371,16 @@ def _apply_aggregate(
     table: Table,
     group_ids: np.ndarray,
     n_groups: int,
+    sorted_starts: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Compute one aggregate over precomputed group ids."""
+    """Compute one aggregate over precomputed group ids.
+
+    ``sorted_starts`` is the first-row index of each group when the
+    caller knows ``group_ids`` is already sorted ascending (the
+    boundary-detection path): MIN/MAX then reduce over the rows in
+    place instead of re-sorting them — the row order *is* the grouped
+    order — skipping a full ``argsort``.
+    """
     if spec.func == "count":
         return np.bincount(group_ids, minlength=n_groups).astype(np.int64)
     column = table[spec.column]
@@ -402,6 +410,10 @@ def _apply_aggregate(
             group_ids[order], np.arange(n_groups), side="right"
         )
         return column[order][ends - 1]
+    if sorted_starts is not None:
+        if spec.func == "min":
+            return np.minimum.reduceat(column, sorted_starts)
+        return np.maximum.reduceat(column, sorted_starts)
     order = np.argsort(group_ids, kind="stable")
     starts = np.searchsorted(group_ids[order], np.arange(n_groups))
     if spec.func == "min":
@@ -449,9 +461,13 @@ def group_by(
         # reads full rows.  ``touch`` pays the memory traffic for real.
         metrics.record_scan(table.num_rows, table.touch())
         metrics.record_group_by()
+    sorted_starts: np.ndarray | None = None
     if assume_sorted:
         group_ids, first, n_groups = sorted_group_boundaries(table, keys)
         structure = GroupStructure(n_groups, None, lambda: group_ids, first=first)
+        # Boundary detection leaves group_ids sorted ascending, so the
+        # group starts double as MIN/MAX reduceat offsets (no argsort).
+        sorted_starts = first
     elif not keys:
         n = table.num_rows
         zeros = np.zeros(n, dtype=np.int64)
@@ -471,7 +487,11 @@ def group_by(
             columns[spec.alias] = structure.counts.astype(np.int64)
         else:
             columns[spec.alias] = _apply_aggregate(
-                spec, table, structure.ids, structure.n_groups
+                spec,
+                table,
+                structure.ids,
+                structure.n_groups,
+                sorted_starts=sorted_starts,
             )
     result_name = name or f"groupby_{'_'.join(keys) or 'all'}"
     if not columns:
@@ -485,6 +505,261 @@ def group_by(
         if derived is not None:
             result.set_dictionary(key, *derived)
     return result
+
+
+# -- decomposable partial aggregate states (morsel execution) ---------------
+
+#: Dense-domain budget for the order-free partial regime: a per-morsel
+#: ``bincount`` allocates ``radix`` slots, so the domain must stay small
+#: relative to the morsel (or below an absolute floor) for the O(m +
+#: radix) pass to beat the O(m log m) sort it replaces.  The slack is
+#: generous because morsel feasibility (``MORSEL_RADIX_SLACK``) already
+#: rejects domains large relative to the *whole* input, so every radix
+#: seen here is at most a small multiple of the morsel budget and the
+#: linear slot scan still beats a comparison sort of the morsel.
+PARTIAL_BINCOUNT_FLOOR = 1 << 16
+PARTIAL_BINCOUNT_SLACK = 64
+
+
+@dataclass
+class PartialGroupState:
+    """Decomposable aggregate state of one morsel (row range).
+
+    ``codes`` are the *sorted* distinct composite key codes present in
+    the morsel; ``counts`` the per-group row counts; ``partials`` maps
+    aggregate alias to its partial array (float64 running sums for
+    SUM/AVG/COUNT(col), native-dtype running MIN/MAX).  COUNT(*) needs
+    no entry — ``counts`` is its partial state.  States merge by key
+    code, so any partition of the rows yields the same final result.
+    """
+
+    codes: np.ndarray
+    counts: np.ndarray
+    partials: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def partial_aggregate_state(
+    combined: np.ndarray,
+    columns: Mapping[str, np.ndarray],
+    aggregates: Sequence[AggregateSpec],
+    radix: int | None = None,
+) -> PartialGroupState:
+    """Partial aggregate states of one morsel over composite codes.
+
+    Args:
+        combined: per-row composite key codes of the morsel slice.
+        columns: aggregate input columns, sliced to the same rows.
+        aggregates: the aggregate specs to decompose.
+        radix: composite-code domain size, when known.  Small domains
+            with no MIN/MAX take an order-free ``bincount`` regime; the
+            rest stable-sort the morsel and ``reduceat`` — both
+            accumulate each group's rows in row order, matching the
+            single-pass kernels' float summation order per morsel.
+    """
+    n = len(combined)
+    partials: dict[str, np.ndarray] = {}
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        for spec in aggregates:
+            if spec.func == "count":
+                continue
+            column = columns[spec.column]
+            dtype = column.dtype if spec.func in ("min", "max") else np.float64
+            partials[spec.alias] = np.zeros(0, dtype=dtype)
+        return PartialGroupState(empty, empty, partials)
+    dense_budget = max(PARTIAL_BINCOUNT_FLOOR, PARTIAL_BINCOUNT_SLACK * n)
+    order_free = (
+        radix is not None
+        and 0 < radix <= min(BINCOUNT_LIMIT, dense_budget)
+        and not any(spec.func in ("min", "max") for spec in aggregates)
+    )
+    if order_free:
+        counts_all = np.bincount(combined, minlength=radix)
+        occupied = np.flatnonzero(counts_all)
+        codes = occupied.astype(np.int64, copy=False)
+        counts = counts_all[occupied].astype(np.int64, copy=False)
+        for spec in aggregates:
+            if spec.func == "count":
+                continue
+            column = columns[spec.column]
+            if spec.func == "count_col":
+                weights = (~null_mask(column)).astype(np.float64)
+            else:  # sum / avg: float64 accumulation, like the serial path
+                weights = column.astype(np.float64, copy=False)
+            partials[spec.alias] = np.bincount(
+                combined, weights=weights, minlength=radix
+            )[occupied]
+        return PartialGroupState(codes, counts, partials)
+    order = np.argsort(combined, kind="stable")
+    ordered = combined[order]
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = ordered[1:] != ordered[:-1]
+    starts = np.flatnonzero(boundary)
+    codes = ordered[starts]
+    counts = np.diff(np.append(starts, n)).astype(np.int64, copy=False)
+    for spec in aggregates:
+        if spec.func == "count":
+            continue
+        column = columns[spec.column]
+        if spec.func in ("min", "max"):
+            if column.dtype.kind == "U":
+                picked = column[np.lexsort((column, combined))]
+                if spec.func == "min":
+                    partials[spec.alias] = picked[starts]
+                else:
+                    ends = np.append(starts[1:], n)
+                    partials[spec.alias] = picked[ends - 1]
+            elif spec.func == "min":
+                partials[spec.alias] = np.minimum.reduceat(
+                    column[order], starts
+                )
+            else:
+                partials[spec.alias] = np.maximum.reduceat(
+                    column[order], starts
+                )
+        elif spec.func == "count_col":
+            valid = (~null_mask(column)).astype(np.float64)
+            partials[spec.alias] = np.add.reduceat(valid[order], starts)
+        else:  # sum / avg
+            values = column.astype(np.float64, copy=False)
+            partials[spec.alias] = np.add.reduceat(values[order], starts)
+    return PartialGroupState(codes, counts, partials)
+
+
+def merge_partial_states(
+    partials: Sequence[PartialGroupState],
+    aggregates: Sequence[AggregateSpec],
+    column_dtypes: Mapping[str, np.dtype],
+    radix: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+    """Merge per-morsel partial states into final group aggregates.
+
+    Returns:
+        (group_codes, counts, alias -> final aggregate array).  Group
+        codes come out sorted ascending — the same numbering the
+        single-pass regimes produce — so the merged result is
+        bit-identical to :func:`group_by` for COUNT/COUNT(col)/MIN/MAX
+        and for SUM/AVG over integer columns (float sums agree up to
+        addition order, deterministically: morsels merge in index
+        order).  ``column_dtypes`` maps aggregate input columns to
+        their dtypes, deciding SUM's int64-vs-float output.  When the
+        composite-code domain ``radix`` is known and fits the bincount
+        budget (and no MIN/MAX is present), the merge runs order-free
+        over the dense domain instead of sorting the concatenated
+        codes; both paths accumulate each group in morsel order, so
+        they agree bit for bit.
+    """
+    states = [state for state in partials if len(state.codes)]
+    merged: dict[str, np.ndarray] = {}
+    if not states:
+        empty = np.zeros(0, dtype=np.int64)
+        for spec in aggregates:
+            if spec.func in ("count", "count_col"):
+                merged[spec.alias] = empty
+            elif spec.func == "avg":
+                merged[spec.alias] = np.zeros(0, dtype=np.float64)
+            elif spec.func == "sum":
+                integral = np.issubdtype(
+                    column_dtypes[spec.column], np.integer
+                )
+                merged[spec.alias] = (
+                    empty if integral else np.zeros(0, dtype=np.float64)
+                )
+            else:
+                merged[spec.alias] = np.zeros(
+                    0, dtype=column_dtypes[spec.column]
+                )
+        return empty, empty, merged
+    all_codes = np.concatenate([state.codes for state in states])
+    dense = (
+        radix is not None
+        and 0 < radix <= BINCOUNT_LIMIT
+        and not any(spec.func in ("min", "max") for spec in aggregates)
+    )
+    if dense:
+        assert radix is not None
+        counts_dense = np.bincount(
+            all_codes,
+            weights=np.concatenate(
+                [state.counts for state in states]
+            ).astype(np.float64),
+            minlength=radix,
+        )
+        occupied = np.flatnonzero(counts_dense)
+        uniq = occupied.astype(np.int64, copy=False)
+        counts = counts_dense[occupied].astype(np.int64)
+        for spec in aggregates:
+            if spec.func == "count":
+                merged[spec.alias] = counts
+                continue
+            values = np.concatenate(
+                [state.partials[spec.alias] for state in states]
+            )
+            sums = np.bincount(
+                all_codes, weights=values, minlength=radix
+            )[occupied]
+            if spec.func == "count_col":
+                merged[spec.alias] = sums.astype(np.int64)
+            elif spec.func == "avg":
+                merged[spec.alias] = sums / np.maximum(counts, 1)
+            elif np.issubdtype(column_dtypes[spec.column], np.integer):
+                merged[spec.alias] = sums.astype(np.int64)
+            else:
+                merged[spec.alias] = sums
+        return uniq, counts, merged
+    uniq, inverse = np.unique(all_codes, return_inverse=True)
+    n_groups = len(uniq)
+    counts = np.bincount(
+        inverse,
+        weights=np.concatenate(
+            [state.counts for state in states]
+        ).astype(np.float64),
+        minlength=n_groups,
+    ).astype(np.int64)
+    order: np.ndarray | None = None
+    starts: np.ndarray | None = None
+    for spec in aggregates:
+        if spec.func == "count":
+            merged[spec.alias] = counts
+            continue
+        values = np.concatenate(
+            [state.partials[spec.alias] for state in states]
+        )
+        if spec.func in ("count_col", "sum", "avg"):
+            sums = np.bincount(inverse, weights=values, minlength=n_groups)
+            if spec.func == "count_col":
+                merged[spec.alias] = sums.astype(np.int64)
+            elif spec.func == "avg":
+                merged[spec.alias] = sums / np.maximum(counts, 1)
+            elif np.issubdtype(column_dtypes[spec.column], np.integer):
+                merged[spec.alias] = sums.astype(np.int64)
+            else:
+                merged[spec.alias] = sums
+            continue
+        # MIN / MAX over per-morsel extrema.
+        if values.dtype.kind == "U":
+            ordered_vals = values[np.lexsort((values, inverse))]
+            sorted_inverse = np.sort(inverse)
+            seg = np.searchsorted(sorted_inverse, np.arange(n_groups))
+            if spec.func == "min":
+                merged[spec.alias] = ordered_vals[seg]
+            else:
+                seg_end = np.searchsorted(
+                    sorted_inverse, np.arange(n_groups), side="right"
+                )
+                merged[spec.alias] = ordered_vals[seg_end - 1]
+            continue
+        if order is None:
+            order = np.argsort(inverse, kind="stable")
+            starts = np.searchsorted(
+                inverse[order], np.arange(n_groups)
+            )
+        if spec.func == "min":
+            merged[spec.alias] = np.minimum.reduceat(values[order], starts)
+        else:
+            merged[spec.alias] = np.maximum.reduceat(values[order], starts)
+    return uniq, counts, merged
 
 
 def reaggregate_specs(

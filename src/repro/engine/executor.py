@@ -12,17 +12,33 @@ statistics; per-operator memory estimates are threaded against an
 optional plan-wide budget, falling back to the engine's partitioned
 execution when a grouping's transient state would not fit.
 
-Execution comes in two modes:
+Execution comes in three modes:
 
 * **serial** (the default): pipelines run in order — exactly the
   paper's client-side script of Group By / DROP statements.
-* **parallel wavefront** (``PlanExecutor(parallelism=k)``): the lowered
-  plan carries dependency waves; pipelines within a wave share no
+* **parallel wavefront** (``mode="wavefront"``): the lowered plan
+  carries dependency waves; pipelines within a wave share no
   dependencies and run on a thread pool (numpy releases the GIL inside
   the reductions).  Results are bit-identical to serial execution and
   the merged :class:`ExecutionMetrics` totals are equal — each pipeline
   aggregates into its own metrics object, folded back in deterministic
   schedule order.
+* **morsel** (``mode="morsel"``): two-phase morsel-driven aggregation.
+  Groupings in a wave that read the same input are batched; the input
+  splits into row-range morsels, each morsel pays **one** shared
+  row-store pass feeding every grouping in the batch, and each grouping
+  computes decomposable partial states per morsel which merge into
+  results bit-identical to the single-pass kernels
+  (:mod:`repro.engine.morsel`).  Thread-parallelism runs *inside* the
+  operator batch — morsel workers — instead of across plan nodes.
+  Deterministic counters are recorded exactly as a serial run would
+  (each grouping is charged one full pass over its input), so metrics
+  totals are equal to serial's even though the physical traffic is one
+  pass per morsel per batch.
+
+``mode="auto"`` (the default) resolves per plan: serial when
+``parallelism`` is 1 or the workload is below the cost model's morsel
+thresholds (small inputs never regress), morsel otherwise.
 
 Either way, one plan-wide
 :class:`~repro.engine.dictcache.DictionaryCache` is threaded through
@@ -49,6 +65,7 @@ from repro.engine.dictcache import DictionaryCache
 from repro.engine.indexes import Index
 from repro.engine.join import union_all
 from repro.engine.metrics import ExecutionMetrics
+from repro.engine.morsel import MorselGrouping, compute_morsel_groupings
 from repro.engine.partitioned_cube import partition_by_values
 from repro.engine.table import Table
 from repro.engine.types import EngineError
@@ -71,6 +88,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class ExecutionError(EngineError):
     """The executor was given an inconsistent plan or schedule."""
+
+
+#: Mode knob values: ``auto`` resolves per plan, the rest force one of
+#: :data:`repro.physical.plan.EXECUTION_MODES` (kept in sync by test).
+MODE_CHOICES = ("auto", "serial", "wavefront", "morsel")
 
 
 def temp_name_for(node: PlanNode) -> str:
@@ -113,10 +135,18 @@ class PlanExecutor:
             ``execute.<operator>`` grandchild per physical operator.
             Tracing is read-only: results and deterministic counters
             are identical with it on or off.
-        parallelism: worker threads for wavefront execution.  1 (the
-            default) executes the lowered linear schedule serially;
-            >= 2 executes the dependency-graph waves concurrently,
-            producing bit-identical tables and equal metrics totals.
+        parallelism: worker threads for wavefront or morsel execution.
+            1 (the default) executes the lowered linear schedule
+            serially; >= 2 runs concurrently (waves of pipelines, or
+            morsel workers inside operator batches), producing
+            bit-identical tables and equal metrics totals.
+        mode: execution mode — one of :data:`MODE_CHOICES`.  ``auto``
+            (the default) picks serial for ``parallelism=1`` and
+            otherwise asks the cost model: morsel execution when the
+            base relation and grouping count clear the two-phase
+            thresholds, serial below them (so small workloads never pay
+            parallel overhead).  ``serial``, ``wavefront``, and
+            ``morsel`` force that mode.
         dictionary_cache: a shared plan-wide dictionary cache.  By
             default each ``execute`` call builds a fresh one; serving
             workloads that re-execute plans over the same base relation
@@ -150,9 +180,15 @@ class PlanExecutor:
         estimator: "CardinalityEstimator | None" = None,
         memory_budget_bytes: float | None = None,
         metrics: MetricsRegistry | None = None,
+        mode: str = "auto",
     ) -> None:
         if parallelism < 1:
             raise ExecutionError("parallelism must be >= 1")
+        if mode not in MODE_CHOICES:
+            raise ExecutionError(
+                f"unknown execution mode {mode!r}; expected one of "
+                f"{MODE_CHOICES}"
+            )
         self._catalog = catalog
         self._base_table = base_table
         self._aggregates = aggregates or [AggregateSpec.count_star("cnt")]
@@ -164,23 +200,60 @@ class PlanExecutor:
         self._estimator = estimator
         self._memory_budget_bytes = memory_budget_bytes
         self._metrics = metrics if metrics is not None else get_metrics()
+        self._mode = mode
 
     # -- lowering -----------------------------------------------------------------
+
+    def resolve_mode(self, plan: LogicalPlan) -> str:
+        """The execution mode this executor would run ``plan`` under.
+
+        Forced modes pass through.  ``auto`` resolves from the workload
+        shape: serial for ``parallelism=1``; with workers available,
+        the cost model's :meth:`~repro.costmodel.engine_model.
+        EngineCostModel.execution_mode_choice` picks morsel execution
+        only when the base relation and grouping count clear the
+        two-phase thresholds — small workloads fall back to serial so
+        parallel execution never regresses them.
+        """
+        if self._mode != "auto":
+            return self._mode
+        if self._parallelism <= 1:
+            return "serial"
+        n_groupings = plan.node_count()
+        if self._estimator is not None:
+            from repro.costmodel.engine_model import EngineCostModel
+
+            model = EngineCostModel(
+                self._estimator,
+                catalog=self._catalog,
+                base_table=self._base_table,
+                use_indexes=self._use_indexes,
+            )
+            return model.execution_mode_choice(
+                n_groupings, self._parallelism
+            ).mode
+        from repro.costmodel.engine_model import default_execution_mode
+
+        rows = self._catalog.get(self._base_table).num_rows
+        return default_execution_mode(rows, n_groupings, self._parallelism)
 
     def lower(
         self, plan: LogicalPlan, steps: list[Step] | None = None
     ) -> "PhysicalPlan":
         """Lower ``plan`` to the physical plan this executor would run.
 
-        Serial executors honor ``steps`` (depth-first when None);
-        parallel executors build the wavefront schedule and reject an
-        explicit linear order.
+        Serial lowering honors ``steps`` (depth-first when None);
+        wavefront and morsel lowering build the wavefront schedule and
+        reject an explicit linear order.
         """
         from repro.physical.lowering import lower as lower_plan
         from repro.physical.plan import PhysicalPlanError
 
-        parallel = self._parallelism > 1
-        if parallel and steps is not None:
+        mode = self.resolve_mode(plan)
+        if steps is not None and (mode != "serial" or self._parallelism > 1):
+            # Even when auto resolves a parallel executor to serial, a
+            # caller-supplied linear order has no meaning: the executor
+            # stays free to re-resolve per plan.
             raise ExecutionError(
                 "parallel execution schedules itself; pass steps=None"
             )
@@ -194,7 +267,8 @@ class PlanExecutor:
                 estimator=self._estimator,
                 memory_budget_bytes=self._memory_budget_bytes,
                 steps=steps,
-                parallel=parallel,
+                mode=mode,
+                parallelism=self._parallelism,
             )
         except PhysicalPlanError as exc:
             # An inconsistent schedule is the caller's error, reported
@@ -238,7 +312,7 @@ class PlanExecutor:
     # -- physical interpretation -------------------------------------------------
 
     def execute_physical(self, physical: "PhysicalPlan") -> ExecutionResult:
-        """Interpret a lowered physical plan (serial or wavefront)."""
+        """Interpret a lowered physical plan (serial/wavefront/morsel)."""
         parallel = physical.waves is not None
         dictionaries = self._dictionary_cache or DictionaryCache(
             metrics=self._metrics
@@ -260,9 +334,14 @@ class PlanExecutor:
                 else len(physical.pipelines)
             ),
             parallelism=self._parallelism,
+            mode=physical.mode,
         ) as plan_span:
             try:
-                if parallel:
+                if physical.mode == "morsel":
+                    local_peak = self._execute_morsel(
+                        physical, result, dictionaries, current_before
+                    )
+                elif parallel:
                     local_peak = self._execute_wavefront(
                         physical, result, dictionaries, current_before
                     )
@@ -285,6 +364,7 @@ class PlanExecutor:
             )
         result.wall_seconds = monotonic() - started
         result.peak_temp_bytes = local_peak - current_before
+        result.metrics.mode = physical.mode
         # Keep the catalog's all-time peak meaningful across runs.  The
         # write goes through the catalog so it happens under the temp
         # lock (mutating another object's lock-guarded state directly
@@ -295,7 +375,6 @@ class PlanExecutor:
                 registry,
                 physical,
                 result,
-                parallel,
                 dictionaries,
                 dictionary_stats_before,
             )
@@ -306,13 +385,12 @@ class PlanExecutor:
         registry: MetricsRegistry,
         physical: "PhysicalPlan",
         result: ExecutionResult,
-        parallel: bool,
         dictionaries: DictionaryCache,
         dictionary_stats_before: dict[str, int],
     ) -> None:
         """Fold one run's totals into the metrics registry."""
         relation = physical.relation
-        mode = "wavefront" if parallel else "serial"
+        mode = physical.mode
         registry.inc(
             "repro_executor_runs_total", relation=relation, mode=mode
         )
@@ -415,6 +493,200 @@ class PlanExecutor:
                     self._run_drop(physical, physical.pipelines[index])
         return local_peak
 
+    def _execute_morsel(
+        self,
+        physical: "PhysicalPlan",
+        result: ExecutionResult,
+        dictionaries: DictionaryCache,
+        current_before: int,
+    ) -> int:
+        """Run the wave schedule with morsel-driven operator batches.
+
+        Per wave, pipelines whose grouping was lowered with
+        ``morsels > 1`` are batched by input table; each batch computes
+        all its groupings over shared morsel scans
+        (:func:`~repro.engine.morsel.compute_morsel_groupings`), with
+        thread workers *inside* the batch.  Pipelines then run in
+        schedule order — batched groupings pick up their precomputed
+        result and record the exact counters a serial run would, the
+        rest execute normally — so results and metrics are
+        deterministic and equal to serial execution's.
+        """
+        local_peak = current_before
+        assert physical.waves is not None
+        for wave in physical.waves:
+            with self._tracer.span(
+                "execute.wave",
+                index=wave.index,
+                nodes=len(wave.pipelines),
+            ) as wave_span:
+                batches: dict[str, list[tuple[int, object]]] = {}
+                for index in wave.pipelines:
+                    entry = self._morsel_batch_entry(
+                        physical, physical.pipelines[index]
+                    )
+                    if entry is not None:
+                        source_name, op = entry
+                        batches.setdefault(source_name, []).append(
+                            (index, op)
+                        )
+                precomputed: dict[int, Table] = {}
+                for source_name, members in batches.items():
+                    # A batch of one shares nothing: the serial path is
+                    # strictly cheaper than partial-state plumbing.
+                    if len(members) < 2:
+                        continue
+                    self._run_morsel_batch(
+                        physical,
+                        source_name,
+                        members,
+                        dictionaries,
+                        precomputed,
+                        wave_span,
+                    )
+                for index in wave.pipelines:
+                    self._run_pipeline(
+                        physical,
+                        physical.pipelines[index],
+                        result,
+                        dictionaries,
+                        parent_span=wave_span,
+                        precomputed=precomputed,
+                    )
+                local_peak = max(
+                    local_peak, self._catalog.current_temp_bytes
+                )
+                for index in wave.drops:
+                    self._run_drop(physical, physical.pipelines[index])
+        return local_peak
+
+    def _morsel_batch_entry(
+        self, physical: "PhysicalPlan", pipeline: "PhysicalPipeline"
+    ) -> tuple[str, "GroupingOperator"] | None:
+        """(input table name, grouping op) if the pipeline batches.
+
+        A pipeline joins a morsel batch when its unpartitioned grouping
+        reads either the base relation through a plain ``Scan`` or a
+        materialized temp through ``Reaggregate``; index scans and
+        budget-partitioned groupings keep their own execution scheme.
+        A single-morsel batch still shares its one scan across every
+        member, so small inputs batch too.
+        """
+        from repro.physical import plan as phys
+
+        for op_id in pipeline.ops:
+            op = physical.op(op_id)
+            if isinstance(op, phys.Reaggregate):
+                if op.partitions != 1:
+                    return None
+                producer = physical.op(op.source)
+                if not isinstance(producer, phys.Materialize):
+                    return None
+                return producer.output, op
+            if isinstance(op, phys.GroupingOperator):
+                if op.partitions != 1:
+                    return None
+                source = physical.op(op.source)
+                if not isinstance(source, phys.Scan):
+                    return None
+                return source.table, op
+        return None
+
+    def _run_morsel_batch(
+        self,
+        physical: "PhysicalPlan",
+        source_name: str,
+        members: list[tuple[int, object]],
+        dictionaries: DictionaryCache,
+        precomputed: dict[int, Table],
+        wave_span: Span,
+    ) -> None:
+        """Compute one shared-scan batch of groupings over morsels."""
+        from repro.physical import plan as phys
+
+        table = self._catalog.get(source_name)
+        groupings = []
+        morsels = 1
+        for index, op in members:
+            assert isinstance(op, phys.GroupingOperator)
+            pipeline = physical.pipelines[index]
+            aggregates = (
+                self._reaggregates
+                if isinstance(op, phys.Reaggregate)
+                else self._aggregates
+            )
+            groupings.append(
+                MorselGrouping(
+                    table,
+                    list(op.keys),
+                    aggregates,
+                    name=op.output,
+                    dictionaries=dictionaries,
+                    # Derived key dictionaries only pay off when the
+                    # result materializes and descendants re-group it.
+                    attach_dictionaries=pipeline.materialized,
+                )
+            )
+            morsels = max(morsels, op.morsels)
+        # Feasibility is only known here (it needs the per-key
+        # cardinalities).  With fewer than two feasible groupings the
+        # shared scan amortizes nothing, so the whole batch — including
+        # would-be fallbacks — takes the serial interpreter instead.
+        if sum(1 for g in groupings if g.feasible) < 2:
+            return
+        registry = self._metrics
+        with self._tracer.span_under(
+            wave_span,
+            "execute.morsel_batch",
+            source=source_name,
+            groupings=len(members),
+            morsels=morsels,
+        ) as batch_span:
+            started = monotonic()
+            tables, stats = compute_morsel_groupings(
+                table, groupings, morsels, self._parallelism
+            )
+            batch_seconds = monotonic() - started
+            for i, (start, stop) in enumerate(stats.ranges):
+                with self._tracer.span_under(
+                    batch_span,
+                    "execute.morsel",
+                    index=i,
+                    rows=stop - start,
+                    bytes=stats.bytes_per_morsel[i],
+                ):
+                    pass
+            batch_span.set(
+                morsels_run=stats.morsels,
+                fallbacks=stats.fallbacks,
+                bytes=sum(stats.bytes_per_morsel),
+            )
+            if registry.enabled:
+                relation = physical.relation
+                registry.inc(
+                    "repro_executor_morsel_batches_total",
+                    relation=relation,
+                )
+                registry.inc(
+                    "repro_executor_morsels_total",
+                    stats.morsels,
+                    relation=relation,
+                )
+                registry.observe(
+                    "repro_executor_morsel_batch_seconds",
+                    batch_seconds,
+                    relation=relation,
+                )
+                for start, stop in stats.ranges:
+                    registry.observe(
+                        "repro_executor_morsel_rows",
+                        stop - start,
+                        relation=relation,
+                    )
+        for (index, op), out in zip(members, tables):
+            assert isinstance(op, phys.GroupingOperator)
+            precomputed[op.op_id] = out
+
     def _run_pipeline_isolated(
         self,
         physical: "PhysicalPlan",
@@ -458,6 +730,7 @@ class PlanExecutor:
         dictionaries: DictionaryCache,
         metrics: ExecutionMetrics | None = None,
         parent_span: Span | None = None,
+        precomputed: dict[int, Table] | None = None,
     ) -> None:
         metrics = result.metrics if metrics is None else metrics
         bytes_before = metrics.work
@@ -482,7 +755,7 @@ class PlanExecutor:
             for op_id in pipeline.ops:
                 produced = self._run_op(
                     physical, physical.op(op_id), env, result, metrics,
-                    dictionaries, span,
+                    dictionaries, span, precomputed,
                 )
                 if rows_out is None and produced is not None:
                     rows_out = produced
@@ -500,17 +773,20 @@ class PlanExecutor:
         metrics: ExecutionMetrics,
         dictionaries: DictionaryCache,
         node_span: Span,
+        precomputed: dict[int, Table] | None = None,
     ) -> int | None:
         """Interpret one operator; returns grouping output rows (else None)."""
         registry = self._metrics
         if not registry.enabled:
             return self._interpret_op(
-                physical, op, env, result, metrics, dictionaries, node_span
+                physical, op, env, result, metrics, dictionaries, node_span,
+                precomputed,
             )
         op_started = monotonic()
         try:
             return self._interpret_op(
-                physical, op, env, result, metrics, dictionaries, node_span
+                physical, op, env, result, metrics, dictionaries, node_span,
+                precomputed,
             )
         finally:
             registry.observe(
@@ -529,6 +805,7 @@ class PlanExecutor:
         metrics: ExecutionMetrics,
         dictionaries: DictionaryCache,
         node_span: Span,
+        precomputed: dict[int, Table] | None = None,
     ) -> int | None:
         from repro.physical import plan as phys
 
@@ -547,7 +824,17 @@ class PlanExecutor:
                 env[op.op_id] = index
                 op_span.set(sorted_prefix=op.sorted_prefix)
                 return None
-            if isinstance(op, phys.Reaggregate):
+            morsel_batched = (
+                precomputed is not None
+                and op.op_id in precomputed
+                and isinstance(op, phys.GroupingOperator)
+            )
+            if morsel_batched:
+                assert precomputed is not None
+                table = self._claim_precomputed(
+                    physical, op, precomputed[op.op_id], metrics
+                )
+            elif isinstance(op, phys.Reaggregate):
                 table = self._run_reaggregate(physical, op, metrics,
                                               dictionaries)
             elif isinstance(op, phys.GroupingOperator):
@@ -573,7 +860,9 @@ class PlanExecutor:
                     f"unknown physical operator {op.op_name!r}"
                 )
             # Shared tail of the grouping operators.
-            if isinstance(op, phys.Reaggregate):
+            if morsel_batched:
+                regime = "morsel"
+            elif isinstance(op, phys.Reaggregate):
                 regime = op.strategy
             elif isinstance(op, phys.SortGroupBy):
                 regime = "sort"
@@ -597,6 +886,39 @@ class PlanExecutor:
             if index.name == name:
                 return index
         raise ExecutionError(f"index {name!r} on {table!r} does not exist")
+
+    def _claim_precomputed(
+        self,
+        physical: "PhysicalPlan",
+        op: "GroupingOperator",
+        table: Table,
+        metrics: ExecutionMetrics,
+    ) -> Table:
+        """Adopt a morsel-batch result, metered exactly as serial is.
+
+        The batch already did the physical work — one shared row-store
+        pass per morsel for the whole batch.  The *deterministic*
+        counters, however, charge this operator what the serial
+        interpreter would: one full scan of its input
+        (``scan_bytes`` meters without re-touching memory) plus one
+        grouping.  Metrics totals are therefore mode-independent while
+        the real memory traffic is what morsel execution saves.
+        """
+        from repro.physical import plan as phys
+
+        metrics.queries_executed += 1
+        if isinstance(op, phys.Reaggregate):
+            producer = physical.op(op.source)
+            assert isinstance(producer, phys.Materialize)
+            source = self._catalog.get(producer.output)
+        else:
+            scan = physical.op(op.source)
+            assert isinstance(scan, phys.Scan)
+            source = self._catalog.get(scan.table)
+        if op.charge_scan:
+            metrics.record_scan(source.num_rows, source.scan_bytes())
+        metrics.record_group_by()
+        return table
 
     def _run_grouping(
         self,

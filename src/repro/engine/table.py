@@ -153,10 +153,25 @@ class Table:
         by paying one memory pass over the data, so wall-clock timings
         reflect row-store scan volume rather than columnar shortcuts.
         """
+        return self.touch_range(0, self._num_rows, columns)
+
+    def touch_range(
+        self,
+        start: int,
+        stop: int,
+        columns: Iterable[str] | None = None,
+    ) -> int:
+        """Read rows ``[start, stop)`` of ``columns``; return bytes read.
+
+        The morsel executor splits the row-store scan into row ranges so
+        several workers can each pay one slice of the pass while every
+        grouping in the batch shares it.  ``touch_range(0, num_rows)``
+        is exactly :meth:`touch`.
+        """
         names = self.column_names if columns is None else tuple(columns)
         total = 0
         for name in names:
-            array = self._columns[name]
+            array = self._columns[name][start:stop]
             if array.dtype.kind == "U":
                 view = np.ascontiguousarray(array).view(np.uint32)
             else:
@@ -166,6 +181,17 @@ class Table:
                 np.add.reduce(view)
             total += array.nbytes
         return total
+
+    def scan_bytes(self, columns: Iterable[str] | None = None) -> int:
+        """Bytes :meth:`touch` would report, without paying the pass.
+
+        Metering helper for execution modes that already paid the
+        physical traffic elsewhere (one shared :meth:`touch_range` pass
+        per morsel) but must record scan counters identical to the
+        serial path's ``touch``-based accounting.
+        """
+        names = self.column_names if columns is None else tuple(columns)
+        return sum(self._columns[name].nbytes for name in names)
 
     # -- construction helpers -----------------------------------------------
 

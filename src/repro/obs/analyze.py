@@ -171,23 +171,31 @@ def _operator_of(tracer: Tracer, span: Span) -> tuple[str, str]:
 
 
 def explain_analyze(
-    session, plan: LogicalPlan, schedule: str = "storage", parallelism: int = 1
+    session,
+    plan: LogicalPlan,
+    schedule: str = "storage",
+    parallelism: int = 1,
+    mode: str = "auto",
 ) -> PlanAnalysis:
     """Execute ``plan`` instrumented and join estimates with actuals.
 
     Args:
         session: a :class:`repro.api.Session` (duck-typed: needs
             ``coster()``, ``estimator``, and ``execute(plan, schedule=,
-            tracer=, parallelism=)``) bound to the plan's base relation.
+            tracer=, parallelism=, mode=)``) bound to the plan's base
+            relation.
         plan: the logical plan to run.
         schedule: execution schedule, as in ``Session.execute``.
-        parallelism: worker threads for wavefront execution (node spans
+        parallelism: worker threads for parallel execution (node spans
             are matched by label, so analysis works identically either
             way).
+        mode: execution mode, as in ``Session.execute`` (morsel-batched
+            groupings report regime ``morsel``).
     """
     tracer = Tracer()
     execution = session.execute(
-        plan, schedule=schedule, tracer=tracer, parallelism=parallelism
+        plan, schedule=schedule, tracer=tracer, parallelism=parallelism,
+        mode=mode,
     )
     by_label = _node_spans_by_label(tracer)
     coster = session.coster()

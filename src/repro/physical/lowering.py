@@ -48,7 +48,9 @@ from repro.costmodel.engine_model import (
 )
 from repro.engine.aggregation import AggregateSpec
 from repro.engine.catalog import Catalog
+from repro.engine.morsel import morsel_count
 from repro.physical.plan import (
+    EXECUTION_MODES,
     CubeExpand,
     DropTemp,
     GroupingOperator,
@@ -89,6 +91,8 @@ class _Lowering:
         use_indexes: bool,
         estimator: CardinalityEstimator | None,
         memory_budget_bytes: float | None,
+        mode: str = "serial",
+        parallelism: int = 1,
     ) -> None:
         self.plan = plan
         self.catalog = catalog
@@ -97,6 +101,8 @@ class _Lowering:
         self.use_indexes = use_indexes
         self.estimator = estimator
         self.budget = memory_budget_bytes
+        self.mode = mode
+        self.parallelism = parallelism
         self.model = (
             EngineCostModel(
                 estimator,
@@ -162,6 +168,17 @@ class _Lowering:
             mem = mem / partitions
         return strategy, cost, mem, partitions
 
+    def morsels_for(self, input_rows: float, partitions: int) -> int:
+        """Morsel count for one grouping under the lowering's mode.
+
+        Only morsel-mode plans split inputs, and only for groupings the
+        executor can run two-phase: partitioned (over-budget) groupings
+        keep their own splitting scheme.
+        """
+        if self.mode != "morsel" or partitions != 1:
+            return 1
+        return morsel_count(int(input_rows), self.parallelism)
+
     # -- per-step lowering -----------------------------------------------------
 
     def lower_compute(self, step: Step) -> PhysicalPipeline:
@@ -199,6 +216,7 @@ class _Lowering:
                     query=self._query_for(step),
                     strategy=strategy,
                     partitions=partitions,
+                    morsels=self.morsels_for(input_rows, partitions),
                     est_rows=self.est_rows(node.columns),
                     est_cost=cost,
                     est_mem_bytes=mem,
@@ -345,6 +363,7 @@ class _Lowering:
                 op_id=self.next_id(),
                 source=scan_id,
                 partitions=partitions,
+                morsels=self.morsels_for(input_rows, partitions),
                 est_cost=cost,
                 est_mem_bytes=mem,
                 **common,
@@ -449,6 +468,8 @@ def lower(
     memory_budget_bytes: float | None = None,
     steps: Sequence[Step] | None = None,
     parallel: bool = False,
+    mode: str | None = None,
+    parallelism: int = 1,
 ) -> PhysicalPlan:
     """Lower a logical plan to a :class:`PhysicalPlan`.
 
@@ -468,9 +489,22 @@ def lower(
             partitioned execution.
         steps: an explicit linear schedule to honor (serial mode); None
             derives depth-first order.
-        parallel: build the wavefront schedule instead; ``steps`` must
-            be None.
+        parallel: legacy alias for ``mode="wavefront"``; ignored when
+            ``mode`` is given.
+        mode: execution mode to lower for — one of
+            :data:`~repro.physical.plan.EXECUTION_MODES`.  ``wavefront``
+            and ``morsel`` build the wavefront schedule; ``morsel``
+            additionally splits grouping inputs into row-range morsels
+            sized from ``parallelism``.
+        parallelism: worker count the morsel split targets.
     """
+    if mode is None:
+        mode = "wavefront" if parallel else "serial"
+    if mode not in EXECUTION_MODES:
+        raise PhysicalPlanError(
+            f"unknown execution mode {mode!r}; expected one of "
+            f"{EXECUTION_MODES}"
+        )
     lowering = _Lowering(
         plan,
         catalog,
@@ -479,9 +513,11 @@ def lower(
         use_indexes,
         estimator,
         memory_budget_bytes,
+        mode=mode,
+        parallelism=parallelism,
     )
     waves: tuple[PhysicalWave, ...] | None = None
-    if parallel:
+    if mode != "serial":
         if steps is not None:
             raise PhysicalPlanError(
                 "parallel lowering schedules itself; pass steps=None"
@@ -511,6 +547,7 @@ def lower(
         pipelines=tuple(lowering.pipelines),
         waves=waves,
         memory_budget_bytes=memory_budget_bytes,
+        mode=mode,
     )
 
 

@@ -136,6 +136,12 @@ class GroupingOperator(PhysicalOperator):
         partitions: >1 executes the grouping per value-range partition
             of the first key and concatenates — the out-of-memory
             fallback when the estimate exceeds the plan budget.
+        morsels: >1 executes the grouping two-phase over that many
+            row-range morsels of the input (partial aggregate states
+            per morsel, merged into final groups), sharing each
+            morsel's row-store pass with every other morselized
+            grouping of the same source in its wave.  Results are
+            bit-identical to the single-pass regimes.
     """
 
     source: int
@@ -144,6 +150,7 @@ class GroupingOperator(PhysicalOperator):
     query: tuple[str, ...] | None = None
     charge_scan: bool = True
     partitions: int = 1
+    morsels: int = 1
 
     def inputs(self) -> tuple[int, ...]:
         return (self.source,)
@@ -152,6 +159,8 @@ class GroupingOperator(PhysicalOperator):
         parts = ""
         if self.partitions > 1:
             parts += f" x{self.partitions} partitions"
+        if self.morsels > 1:
+            parts += f" [{self.morsels} morsels]"
         if self.query is not None:
             parts += " [answers query]"
         return parts
@@ -338,6 +347,15 @@ class PhysicalWave:
     drops: tuple[int, ...] = ()
 
 
+#: Execution modes a lowered plan can carry.  ``serial`` runs the
+#: pipelines in order, ``wavefront`` runs dependency waves across a
+#: thread pool (node-level parallelism), ``morsel`` runs the same waves
+#: but batches each wave's morselized groupings over shared row-range
+#: scans (operator-internal parallelism).  All three produce
+#: bit-identical tables and metrics totals.
+EXECUTION_MODES = ("serial", "wavefront", "morsel")
+
+
 @dataclass(frozen=True)
 class PhysicalPlan:
     """A lowered, executable plan over one base relation.
@@ -349,6 +367,10 @@ class PhysicalPlan:
         waves: optional parallel schedule over the same pipelines.
         memory_budget_bytes: plan-wide transient-memory budget the
             lowering honored, or None for unbounded.
+        mode: one of :data:`EXECUTION_MODES`; the empty string (the
+            default) derives the historical mapping — ``wavefront``
+            when waves are present, ``serial`` otherwise — keeping
+            pre-morsel constructors and payloads valid.
     """
 
     relation: str
@@ -356,8 +378,21 @@ class PhysicalPlan:
     pipelines: tuple[PhysicalPipeline, ...]
     waves: tuple[PhysicalWave, ...] | None = None
     memory_budget_bytes: float | None = None
+    mode: str = ""
 
     def __post_init__(self) -> None:
+        if not self.mode:
+            derived = "wavefront" if self.waves is not None else "serial"
+            object.__setattr__(self, "mode", derived)
+        if self.mode not in EXECUTION_MODES:
+            raise PhysicalPlanError(
+                f"unknown execution mode {self.mode!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
+        if self.mode != "serial" and self.waves is None:
+            raise PhysicalPlanError(
+                f"mode {self.mode!r} requires a wave schedule"
+            )
         for position, op in enumerate(self.operators):
             if op.op_id != position:
                 raise PhysicalPlanError(
@@ -400,9 +435,9 @@ class PhysicalPlan:
     def render(self) -> str:
         """Human-readable operator tree with per-operator estimates."""
         mode = (
-            f"parallel ({len(self.waves)} waves)"
+            f"{self.mode} ({len(self.waves)} waves)"
             if self.waves is not None
-            else "serial"
+            else self.mode
         )
         budget = (
             f" budget={_fmt(self.memory_budget_bytes)}B"

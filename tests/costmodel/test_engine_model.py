@@ -135,3 +135,125 @@ class TestCubeRollup:
         rollup = PlanNode(fs("b", "c"), NodeKind.ROLLUP, ("b", "c"))
         single = model.edge_cost(None, PlanNode(fs("b", "c")), True)
         assert model.edge_cost(None, rollup, True) > single
+
+
+class TestExecutionModeChoice:
+    def _model(self, rows):
+        catalog, _ = make_catalog()
+        estimator = FakeEstimator(rows, {"b": 7, "c": 3})
+        return EngineCostModel(estimator, catalog, "t")
+
+    def test_small_input_stays_serial(self):
+        from repro.costmodel.engine_model import MORSEL_MIN_ROWS
+
+        choice = self._model(MORSEL_MIN_ROWS - 1).execution_mode_choice(
+            10, parallelism=4
+        )
+        assert choice.mode == "serial"
+        assert "floor" in choice.reason
+
+    def test_single_grouping_stays_serial(self):
+        choice = self._model(1_000_000).execution_mode_choice(
+            1, parallelism=4
+        )
+        assert choice.mode == "serial"
+
+    def test_scale_picks_morsel_and_costs_order(self):
+        choice = self._model(1_000_000).execution_mode_choice(
+            12, parallelism=4
+        )
+        assert choice.mode == "morsel"
+        assert choice.morsels > 1
+        assert choice.morsel_cost < choice.serial_cost
+        assert choice.wavefront_cost == choice.serial_cost
+
+    def test_auto_never_picks_wavefront(self):
+        for rows in (100, 50_000, 2_000_000):
+            for groupings in (1, 2, 30):
+                choice = self._model(rows).execution_mode_choice(
+                    groupings, parallelism=8
+                )
+                assert choice.mode in ("serial", "morsel")
+
+    def test_default_mode_mirrors_floors(self):
+        from repro.costmodel.engine_model import (
+            MORSEL_MIN_GROUPINGS,
+            MORSEL_MIN_ROWS,
+            default_execution_mode,
+        )
+
+        assert default_execution_mode(
+            MORSEL_MIN_ROWS, MORSEL_MIN_GROUPINGS, 2
+        ) == "morsel"
+        assert default_execution_mode(
+            MORSEL_MIN_ROWS - 1, MORSEL_MIN_GROUPINGS, 2
+        ) == "serial"
+        assert default_execution_mode(
+            MORSEL_MIN_ROWS, MORSEL_MIN_GROUPINGS - 1, 2
+        ) == "serial"
+
+
+class TestCalibration:
+    def _report(self, groups):
+        from repro.obs.history import CalibrationReport, QErrorStats
+
+        stats = {}
+        for key, (q_errors, direction) in groups.items():
+            s = QErrorStats()
+            for q in q_errors:
+                if direction == "under":
+                    s.add(q, est_rows=1.0, actual_rows=q)
+                else:
+                    s.add(q, est_rows=q, actual_rows=1.0)
+            stats[key] = s
+        return CalibrationReport(
+            groups=stats, runs=sum(s.count for s in stats.values()),
+            fingerprints=1,
+        )
+
+    def test_under_estimates_charged_more(self):
+        from repro.costmodel.engine_model import calibration_corrections
+
+        report = self._report(
+            {("hash_group_by", "hash"): ([2.0, 2.0, 2.0], "under")}
+        )
+        factors = calibration_corrections(report)
+        assert factors[("hash_group_by", "hash")] == pytest.approx(2.0)
+
+    def test_over_estimates_discounted(self):
+        from repro.costmodel.engine_model import calibration_corrections
+
+        report = self._report(
+            {("sort_group_by", "sort"): ([4.0, 4.0, 4.0], "over")}
+        )
+        factors = calibration_corrections(report)
+        assert factors[("sort_group_by", "sort")] == pytest.approx(0.25)
+
+    def test_thin_groups_ignored_and_band_clamped(self):
+        from repro.costmodel.engine_model import (
+            CALIBRATION_FACTOR_BAND,
+            calibration_corrections,
+        )
+
+        report = self._report(
+            {
+                ("reaggregate", "hash"): ([9.0, 9.0], "under"),
+                ("hash_group_by", "hash"): ([50.0, 50.0, 50.0], "under"),
+            }
+        )
+        factors = calibration_corrections(report)
+        assert ("reaggregate", "hash") not in factors
+        assert factors[("hash_group_by", "hash")] == CALIBRATION_FACTOR_BAND[1]
+
+    def test_with_calibration_returns_corrected_copy(self):
+        catalog, _ = make_catalog()
+        estimator = FakeEstimator(1000, {"b": 7, "c": 3})
+        model = EngineCostModel(estimator, catalog, "t")
+        report = self._report(
+            {("hash_group_by", "hash"): ([3.0, 3.0, 3.0], "under")}
+        )
+        calibrated = model.with_calibration(report)
+        assert model.corrections == {}
+        assert calibrated.corrections == {
+            ("hash_group_by", "hash"): pytest.approx(3.0)
+        }

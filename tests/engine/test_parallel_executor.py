@@ -181,7 +181,9 @@ class TestParallelContract:
         catalog = Catalog()
         catalog.add_table(random_table)
         tracer = Tracer()
-        executor = PlanExecutor(catalog, "r", parallelism=2, tracer=tracer)
+        executor = PlanExecutor(
+            catalog, "r", parallelism=2, tracer=tracer, mode="wavefront"
+        )
         executor.execute(TestHandBuiltPlans().deep_plan())
         wave_spans = [s for s in tracer.spans if s.name == "execute.wave"]
         node_spans = [s for s in tracer.spans if s.name == "execute.node"]

@@ -139,7 +139,7 @@ class TestStructure:
     def test_parallel_plan_builds_waves(self, session):
         queries = [fs("mid"), fs("low"), fs("mid", "low")]
         result = session.optimize(queries)
-        physical = session.lower(result.plan, parallelism=2)
+        physical = session.lower(result.plan, parallelism=2, mode="wavefront")
         assert physical.waves is not None
         assert len(physical.waves) >= 1
         covered = [

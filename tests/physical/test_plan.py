@@ -145,5 +145,5 @@ class TestRender:
 
     def test_render_parallel_and_budget(self):
         text = small_plan(waves=True, budget=4096.0).render()
-        assert "mode=parallel (2 waves)" in text
+        assert "mode=wavefront (2 waves)" in text
         assert "budget=4096B" in text

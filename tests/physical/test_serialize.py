@@ -92,3 +92,24 @@ class TestCorruption:
         payload["operators"][0] = "scan"
         with pytest.raises(PlanError, match="must be objects"):
             physical_plan_from_dict(payload)
+
+
+class TestMorselRoundTrip:
+    def test_mode_and_morsels_survive(self, session):
+        result = session.optimize(containment_workload(["low", "mid"]))
+        physical = session.lower(
+            result.plan, parallelism=4, mode="morsel"
+        )
+        assert physical.mode == "morsel"
+        rebuilt = physical_plan_from_json(physical_plan_to_json(physical))
+        assert rebuilt == physical
+        assert rebuilt.mode == "morsel"
+        for op, op_r in zip(physical.operators, rebuilt.operators):
+            if hasattr(op, "morsels"):
+                assert op_r.morsels == op.morsels
+
+    def test_legacy_payload_without_mode_still_loads(self, physical):
+        payload = physical_plan_to_dict(physical)
+        payload.pop("mode", None)
+        rebuilt = physical_plan_from_dict(payload)
+        assert rebuilt.mode in ("serial", "wavefront")

@@ -230,6 +230,7 @@ class TestTrace:
                 "--workload", "sales",
                 "--rows", "2000",
                 "--parallelism", "2",
+                "--mode", "wavefront",
             ]
         )
         assert code == 0
