@@ -1,0 +1,245 @@
+"""Adaptive benchmark: cold-start vs feedback-calibrated planning.
+
+Reproduces the stale-statistics scenario the Session feedback loop is
+built for: a relation is refreshed so its three key columns become
+functionally correlated (|{a,b,c}| = 400) while the optimizer still
+plans from pre-refresh statistics that assume independence (composite
+group counts over-estimated ~200x).  The cold optimizer therefore
+refuses the shared-parent merges that are actually nearly free and
+scans the base relation once per query.
+
+A Session with ``feedback=True`` executes the workload repeatedly: each
+run records est-vs-actual per node into the history store, the
+calibration layer turns the observed over-estimation bias into a
+discount on the hash-grouping regime, and the optimizer converges to
+the merged plan.  The benchmark reports:
+
+* ``cold_seconds`` / ``calibrated_seconds`` — best-of-``--repeats``
+  wall time of the cold-start plan vs the converged plan;
+* ``convergence_run`` — the first execution (1-indexed) whose plan
+  differs from cold start (must be <= ``--runs``);
+* ``plan_changed`` / ``results_match`` / ``cheaper_under_truth`` —
+  correctness flags: the plan must drift, stay bit-identical in its
+  results, and cost less under truthful (live) statistics.
+
+Writes ``BENCH_adaptive.json`` at the repository root::
+
+    python benchmarks/bench_adaptive.py [--rows N] [--repeats K] [--smoke]
+
+``--smoke`` runs a reduced scale for CI: it still asserts convergence
+and the correctness flags but skips the wall-time speedup floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Session  # noqa: E402
+from repro.costmodel.base import PlanCoster  # noqa: E402
+from repro.costmodel.engine_model import EngineCostModel  # noqa: E402
+from repro.engine.catalog import Catalog  # noqa: E402
+from repro.engine.table import Table  # noqa: E402
+from repro.obs.clock import monotonic  # noqa: E402
+from repro.stats.cardinality import (  # noqa: E402
+    ExactCardinalityEstimator,
+    StaleStatisticsEstimator,
+)
+
+#: Feedback executions the loop gets to converge in (the ISSUE bound).
+MAX_RUNS = 5
+#: Full-scale acceptance floor on the measured cold/calibrated ratio.
+MIN_SPEEDUP = 1.05
+
+QUERIES = [
+    frozenset(s)
+    for s in (
+        ["a"],
+        ["b"],
+        ["c"],
+        ["a", "b"],
+        ["a", "c"],
+        ["b", "c"],
+        ["a", "b", "c"],
+    )
+]
+
+
+def make_tables(rows: int) -> tuple[Table, Table]:
+    """(stale snapshot, live table): independent before, correlated after."""
+    rng = np.random.default_rng(7)
+    snapshot = Table(
+        "sales",
+        {
+            "a": rng.integers(0, 400, rows),
+            "b": rng.integers(0, 300, rows),
+            "c": rng.integers(0, 50, rows),
+        },
+    )
+    rng_live = np.random.default_rng(8)
+    a = rng_live.integers(0, 400, rows)
+    live = Table("sales", {"a": a, "b": a % 300, "c": a % 50})
+    return snapshot, live
+
+
+def stale_session(live: Table, snapshot: Table, **kwargs) -> Session:
+    catalog = Catalog()
+    catalog.add_table(live)
+    estimator = StaleStatisticsEstimator(
+        ExactCardinalityEstimator(snapshot), live
+    )
+    return Session(catalog, "sales", estimator, **kwargs)
+
+
+def best_of(session: Session, plan, repeats: int):
+    """Best-of-``repeats`` wall time and the last execution result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = monotonic()
+        result = session.execute(plan)
+        best = min(best, monotonic() - started)
+    return best, result
+
+
+def tables_match(a: Table, b: Table) -> bool:
+    rows_a = sorted(a.to_rows())
+    rows_b = sorted(b.to_rows())
+    return list(a.column_names) == list(b.column_names) and rows_a == rows_b
+
+
+def bench(rows: int, repeats: int) -> dict:
+    snapshot, live = make_tables(rows)
+
+    cold = stale_session(live, snapshot)
+    cold_plan = cold.optimize(QUERIES).plan
+    cold_render = cold_plan.render()
+
+    fed = stale_session(live, snapshot, feedback=True)
+    convergence_run = 0
+    final_plan = cold_plan
+    for run in range(1, MAX_RUNS + 1):
+        result = fed.optimize(QUERIES)
+        fed.execute(result.plan)
+        final_plan = result.plan
+        if convergence_run == 0 and result.plan.render() != cold_render:
+            convergence_run = run
+
+    # Time both plans in a fresh feedback-free session so neither pays
+    # recording overhead and both see identical engine state.
+    timing = stale_session(live, snapshot)
+    cold_seconds, cold_result = best_of(timing, cold_plan, repeats)
+    calibrated_seconds, calibrated_result = best_of(
+        timing, final_plan, repeats
+    )
+
+    results_match = set(cold_result.results) == set(
+        calibrated_result.results
+    ) and all(
+        tables_match(cold_result.results[q], calibrated_result.results[q])
+        for q in cold_result.results
+    )
+
+    truth_catalog = Catalog()
+    truth_catalog.add_table(live)
+    truth_coster = PlanCoster(
+        EngineCostModel(
+            ExactCardinalityEstimator(live),
+            catalog=truth_catalog,
+            base_table="sales",
+        )
+    )
+    cold_truth_cost = truth_coster.plan_cost(cold_plan)
+    calibrated_truth_cost = truth_coster.plan_cost(final_plan)
+
+    return {
+        "rows": rows,
+        "queries": len(QUERIES),
+        "repeats": repeats,
+        "max_runs": MAX_RUNS,
+        "convergence_run": convergence_run,
+        "plan_changed": convergence_run > 0,
+        "results_match": results_match,
+        "cheaper_under_truth": calibrated_truth_cost < cold_truth_cost,
+        "cold_seconds": cold_seconds,
+        "calibrated_seconds": calibrated_seconds,
+        "speedup_calibrated": cold_seconds / max(calibrated_seconds, 1e-12),
+        "cold_truth_cost": cold_truth_cost,
+        "calibrated_truth_cost": calibrated_truth_cost,
+        "corrections": {
+            f"{operator}/{regime}": factor
+            for (operator, regime), factor in sorted(
+                fed.cost_model().corrections.items()
+            )
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=160_000)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced scale for CI; checks convergence and correctness "
+        "flags only",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_adaptive.json",
+        help="output JSON path (default: BENCH_adaptive.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+    rows = 80_000 if args.smoke else args.rows
+    repeats = 3 if args.smoke else args.repeats
+
+    entry = bench(rows, repeats)
+    payload = {
+        "benchmark": "feedback-calibrated planning vs cold start",
+        "smoke": args.smoke,
+        **entry,
+    }
+    print(
+        f"cold {entry['cold_seconds'] * 1e3:8.2f} ms  "
+        f"calibrated {entry['calibrated_seconds'] * 1e3:8.2f} ms  "
+        f"({entry['speedup_calibrated']:.2f}x)  "
+        f"converged at run {entry['convergence_run']}  "
+        f"results_match={entry['results_match']} "
+        f"cheaper_under_truth={entry['cheaper_under_truth']}"
+    )
+
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if not entry["plan_changed"]:
+        failures.append(
+            f"feedback loop never re-planned within {MAX_RUNS} executions"
+        )
+    if not entry["results_match"]:
+        failures.append("calibrated plan's results differ from cold plan's")
+    if not entry["cheaper_under_truth"]:
+        failures.append(
+            "calibrated plan not cheaper under truthful statistics"
+        )
+    if not args.smoke and entry["speedup_calibrated"] < MIN_SPEEDUP:
+        failures.append(
+            f"calibrated speedup {entry['speedup_calibrated']:.2f}x below "
+            f"the {MIN_SPEEDUP:.2f}x floor"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,448 @@
+"""Composable correction layers over the engine cost model.
+
+The estimate→actual feedback loop (ROADMAP: cost-model auto-calibration
+and metrics-driven adaptive regime choice) splits into layers stacked on
+the static :class:`~repro.costmodel.engine_model.EngineCostModel`
+constants:
+
+* the **base layer** is the uncorrected model itself — byte + CPU +
+  materialization constants calibrated once to the engine's kernels;
+* :class:`CalibrationLayer` turns the per-(operator, regime) q-error
+  bias recorded in a :class:`~repro.obs.history.PlanHistoryStore` into
+  multiplicative cost factors (the ``with_calibration`` pipeline, now a
+  refreshable layer);
+* :class:`AdaptiveThresholdLayer` re-tunes the hash-vs-sort regime
+  factor and the serial/morsel mode floors from live
+  ``repro_executor_op_seconds`` / ``repro_executor_run_seconds``
+  distributions in the metrics registry.
+
+:class:`LayeredCostModel` composes them: each ``refresh()`` re-derives
+every layer's factors, merges them (product per key, provenance
+recorded per key), and applies threshold overrides — so one model
+instance held by a :class:`~repro.api.Session` adapts across queries
+while every decision records which layer moved it (``decided_by`` on
+``GroupingChoice`` / ``ModeChoice``).
+
+With no layers, or with layers that have seen no data, the merged state
+is empty and the model is bit-identical to the static base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+
+from repro.engine.catalog import Catalog
+from repro.costmodel.engine_model import (
+    CALIBRATION_FACTOR_BAND,
+    CALIBRATION_MIN_RUNS,
+    HASH_CPU,
+    MORSEL_MIN_GROUPINGS,
+    MORSEL_MIN_ROWS,
+    SORT_GROUP_CPU,
+    EngineCostModel,
+    _join_origins,
+    calibration_corrections,
+)
+from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.whatif import WhatIfRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.history import PlanHistoryStore
+    from repro.obs.metrics import MetricsRegistry
+
+#: Histogram counts below this are too thin for the adaptive layer to
+#: trust: two timings prove nothing about a distribution.
+ADAPTIVE_MIN_OBSERVATIONS = 5
+#: Re-tuned morsel row floors stay within this factor of the static
+#: default in either direction, mirroring the calibration clamp band.
+ADAPTIVE_FLOOR_BAND = 8.0
+#: Factors within this distance of 1.0 are dropped — they cannot move
+#: a decision and would only add noise to provenance reporting.
+_IDENTITY_EPSILON = 1e-9
+
+
+def _clamp(value: float, band: tuple[float, float]) -> float:
+    lower, upper = band
+    return min(max(value, lower), upper)
+
+
+@dataclass(frozen=True)
+class ThresholdOverrides:
+    """Mode-floor overrides a layer may contribute (None = keep).
+
+    Attributes:
+        morsel_min_rows: replacement for the static
+            :data:`~repro.costmodel.engine_model.MORSEL_MIN_ROWS` floor.
+        morsel_min_groupings: replacement for the static
+            :data:`~repro.costmodel.engine_model.MORSEL_MIN_GROUPINGS`.
+    """
+
+    morsel_min_rows: float | None = None
+    morsel_min_groupings: int | None = None
+
+    def is_empty(self) -> bool:
+        return self.morsel_min_rows is None and self.morsel_min_groupings is None
+
+
+@runtime_checkable
+class CostLayer(Protocol):
+    """One refreshable source of cost corrections.
+
+    A layer observes some feedback channel (run history, metrics
+    distributions) and contributes multiplicative grouping factors
+    and/or mode-floor overrides.  ``refresh()`` re-reads the channel and
+    reports whether the layer's contribution changed — the composed
+    model uses that to decide when cached plan costs must be dropped.
+    """
+
+    name: str
+
+    def refresh(self) -> bool:
+        """Re-derive state from the feedback channel; True if changed."""
+        ...
+
+    def grouping_factors(self) -> dict[tuple[str, str], float]:
+        """Per-(operator, regime) multiplicative cost factors."""
+        ...
+
+    def thresholds(self) -> ThresholdOverrides:
+        """Mode-floor overrides (empty when the layer has none)."""
+        ...
+
+    def describe(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the layer's state (CLI output)."""
+        ...
+
+
+class CalibrationLayer:
+    """Per-(operator, regime) q-error corrections from run history.
+
+    Wraps the ``PlanHistoryStore`` → ``CalibrationReport`` →
+    :func:`~repro.costmodel.engine_model.calibration_corrections`
+    pipeline as a refreshable layer: each :meth:`refresh` rolls the
+    store's records up again, so factors follow the history as the
+    owning session executes more plans.
+
+    Args:
+        history: source of recorded est-vs-actual runs.
+        relation: restrict the rollup to runs over this base relation
+            (None = all runs).
+        min_runs: minimum observations per (operator, regime) group.
+        clamp: ``(lower, upper)`` band every factor is clamped to.
+    """
+
+    name = "calibration"
+
+    def __init__(
+        self,
+        history: "PlanHistoryStore",
+        relation: str | None = None,
+        min_runs: int = CALIBRATION_MIN_RUNS,
+        clamp: tuple[float, float] = CALIBRATION_FACTOR_BAND,
+    ) -> None:
+        if min_runs < 1:
+            raise ValueError(f"min_runs must be >= 1, got {min_runs}")
+        lower, upper = clamp
+        if not 0.0 < lower <= upper:
+            raise ValueError(
+                f"clamp band must satisfy 0 < lower <= upper, got {clamp}"
+            )
+        self._history = history
+        self._relation = relation
+        self._min_runs = min_runs
+        self._clamp = clamp
+        self._factors: dict[tuple[str, str], float] = {}
+        self._runs = 0
+
+    @property
+    def history(self) -> "PlanHistoryStore":
+        return self._history
+
+    @property
+    def runs(self) -> int:
+        """Run count behind the current factors (last refresh)."""
+        return self._runs
+
+    def refresh(self) -> bool:
+        report = self._history.calibration(relation=self._relation)
+        factors = calibration_corrections(
+            report, min_runs=self._min_runs, clamp=self._clamp
+        )
+        changed = factors != self._factors
+        self._factors = factors
+        self._runs = report.runs
+        return changed
+
+    def grouping_factors(self) -> dict[tuple[str, str], float]:
+        return dict(self._factors)
+
+    def thresholds(self) -> ThresholdOverrides:
+        return ThresholdOverrides()
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "layer": self.name,
+            "runs": self._runs,
+            "min_runs": self._min_runs,
+            "clamp": list(self._clamp),
+            "factors": {
+                f"{operator}/{regime}": factor
+                for (operator, regime), factor in sorted(self._factors.items())
+            },
+        }
+
+
+class AdaptiveThresholdLayer:
+    """Regime factors and mode floors from live metrics distributions.
+
+    Reads the executor's ``repro_executor_op_seconds`` histograms to
+    compare the *observed* sort-vs-hash cost ratio against the static
+    constants' prediction, and the ``repro_executor_run_seconds``
+    histograms to compare serial vs morsel wall time — re-tuning the
+    sort-regime cost factor and the morsel row floor respectively.
+
+    Args:
+        metrics: registry the executor records into.
+        relation: base relation whose run timings gate the mode floor
+            (the ``relation`` label on ``repro_executor_run_seconds``);
+            None disables floor re-tuning (op-level factors still work).
+        min_observations: minimum histogram count on *both* sides of a
+            comparison before it is trusted.
+        band: clamp band for the sort-regime factor.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        metrics: "MetricsRegistry",
+        relation: str | None = None,
+        min_observations: int = ADAPTIVE_MIN_OBSERVATIONS,
+        band: tuple[float, float] = CALIBRATION_FACTOR_BAND,
+    ) -> None:
+        if min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        self._metrics = metrics
+        self._relation = relation
+        self._min_observations = min_observations
+        self._band = band
+        self._factors: dict[tuple[str, str], float] = {}
+        self._thresholds = ThresholdOverrides()
+        self._observed_ratio: float | None = None
+        self._observed_mode_ratio: float | None = None
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        return self._metrics
+
+    def _regime_factor(self) -> dict[tuple[str, str], float]:
+        hash_hist = self._metrics.histogram(
+            "repro_executor_op_seconds", op="hash_group_by"
+        )
+        sort_hist = self._metrics.histogram(
+            "repro_executor_op_seconds", op="sort_group_by"
+        )
+        self._observed_ratio = None
+        if (
+            hash_hist.count < self._min_observations
+            or sort_hist.count < self._min_observations
+            or hash_hist.mean <= 0.0
+        ):
+            return {}
+        observed = sort_hist.mean / hash_hist.mean
+        self._observed_ratio = observed
+        # The static constants predict sort costs (HASH_CPU +
+        # SORT_GROUP_CPU) per row-column against HASH_CPU for hashing;
+        # scale the sort regime by how far reality drifted from that.
+        reference = (HASH_CPU + SORT_GROUP_CPU) / HASH_CPU
+        factor = _clamp(observed / reference, self._band)
+        if abs(factor - 1.0) < _IDENTITY_EPSILON:
+            return {}
+        return {("sort_group_by", "sort"): factor}
+
+    def _mode_floor(self) -> ThresholdOverrides:
+        self._observed_mode_ratio = None
+        if self._relation is None:
+            return ThresholdOverrides()
+        serial = self._metrics.histogram(
+            "repro_executor_run_seconds",
+            relation=self._relation,
+            mode="serial",
+        )
+        morsel = self._metrics.histogram(
+            "repro_executor_run_seconds",
+            relation=self._relation,
+            mode="morsel",
+        )
+        if (
+            serial.count < self._min_observations
+            or morsel.count < self._min_observations
+            or serial.mean <= 0.0
+        ):
+            return ThresholdOverrides()
+        ratio = morsel.mean / serial.mean
+        self._observed_mode_ratio = ratio
+        # Morsel runs observed faster than serial → the scheduling
+        # overhead amortizes sooner than the static floor assumed, so
+        # lower it proportionally (and vice versa), within the band.
+        floor = _clamp(
+            MORSEL_MIN_ROWS * ratio,
+            (
+                MORSEL_MIN_ROWS / ADAPTIVE_FLOOR_BAND,
+                MORSEL_MIN_ROWS * ADAPTIVE_FLOOR_BAND,
+            ),
+        )
+        if abs(floor - MORSEL_MIN_ROWS) < 1.0:
+            return ThresholdOverrides()
+        return ThresholdOverrides(morsel_min_rows=floor)
+
+    def refresh(self) -> bool:
+        factors = self._regime_factor()
+        thresholds = self._mode_floor()
+        changed = (
+            factors != self._factors or thresholds != self._thresholds
+        )
+        self._factors = factors
+        self._thresholds = thresholds
+        return changed
+
+    def grouping_factors(self) -> dict[tuple[str, str], float]:
+        return dict(self._factors)
+
+    def thresholds(self) -> ThresholdOverrides:
+        return self._thresholds
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "layer": self.name,
+            "min_observations": self._min_observations,
+            "band": list(self._band),
+            "observed_sort_hash_ratio": self._observed_ratio,
+            "observed_morsel_serial_ratio": self._observed_mode_ratio,
+            "factors": {
+                f"{operator}/{regime}": factor
+                for (operator, regime), factor in sorted(self._factors.items())
+            },
+            "morsel_min_rows": self._thresholds.morsel_min_rows,
+            "morsel_min_groupings": self._thresholds.morsel_min_groupings,
+        }
+
+
+class LayeredCostModel(EngineCostModel):
+    """Engine cost model with composable correction layers on top.
+
+    Behaves exactly like :class:`EngineCostModel` until :meth:`refresh`
+    pulls corrections out of its layers: grouping factors merge by
+    product per (operator, regime) key (provenance joined per key), the
+    last layer contributing a threshold override wins it.  ``refresh``
+    returns True when the merged state changed, which is the owning
+    session's signal to drop cached plan costs.
+
+    Args:
+        estimator: cardinality source (exact or sampled).
+        layers: correction layers, applied in order.
+        catalog / base_table / whatif / base_row_width / use_indexes:
+            forwarded to :class:`EngineCostModel`.
+    """
+
+    def __init__(
+        self,
+        estimator: CardinalityEstimator,
+        layers: Iterable[CostLayer] = (),
+        catalog: Catalog | None = None,
+        base_table: str | None = None,
+        whatif: WhatIfRegistry | None = None,
+        base_row_width: float | None = None,
+        use_indexes: bool = True,
+    ) -> None:
+        super().__init__(
+            estimator,
+            catalog=catalog,
+            base_table=base_table,
+            whatif=whatif,
+            base_row_width=base_row_width,
+            use_indexes=use_indexes,
+        )
+        self._layers: tuple[CostLayer, ...] = tuple(layers)
+        self._refreshes = 0
+
+    @property
+    def layers(self) -> tuple[CostLayer, ...]:
+        return self._layers
+
+    @property
+    def refreshes(self) -> int:
+        """How many times :meth:`refresh` has been called."""
+        return self._refreshes
+
+    def refresh(self) -> bool:
+        """Re-derive every layer and re-merge; True if state changed."""
+        self._refreshes += 1
+        for layer in self._layers:
+            layer.refresh()
+        merged: dict[tuple[str, str], float] = {}
+        origins: dict[tuple[str, str], list[str]] = {}
+        morsel_min_rows = float(MORSEL_MIN_ROWS)
+        morsel_min_groupings = MORSEL_MIN_GROUPINGS
+        threshold_origin = "adaptive"
+        for layer in self._layers:
+            for key, factor in layer.grouping_factors().items():
+                merged[key] = merged.get(key, 1.0) * factor
+                origins.setdefault(key, []).append(layer.name)
+            overrides = layer.thresholds()
+            if overrides.morsel_min_rows is not None:
+                morsel_min_rows = float(overrides.morsel_min_rows)
+                threshold_origin = layer.name
+            if overrides.morsel_min_groupings is not None:
+                morsel_min_groupings = int(overrides.morsel_min_groupings)
+                threshold_origin = layer.name
+        merged = {
+            key: factor
+            for key, factor in merged.items()
+            if abs(factor - 1.0) >= _IDENTITY_EPSILON
+        }
+        origin_names = {
+            key: _join_origins(origins.get(key, ())) for key in merged
+        }
+        changed = (
+            merged != self._corrections
+            or origin_names != self._correction_origins
+            or morsel_min_rows != self._morsel_min_rows
+            or morsel_min_groupings != self._morsel_min_groupings
+        )
+        self._corrections = merged
+        self._correction_origins = origin_names
+        self._morsel_min_rows = morsel_min_rows
+        self._morsel_min_groupings = morsel_min_groupings
+        self._threshold_origin = threshold_origin
+        return changed
+
+    def describe(self) -> dict[str, object]:
+        """JSON-friendly snapshot of the whole stack (CLI output)."""
+        return {
+            "base": {
+                "morsel_min_rows": float(MORSEL_MIN_ROWS),
+                "morsel_min_groupings": MORSEL_MIN_GROUPINGS,
+            },
+            "layers": [layer.describe() for layer in self._layers],
+            "merged": {
+                "corrections": {
+                    f"{operator}/{regime}": factor
+                    for (operator, regime), factor in sorted(
+                        self._corrections.items()
+                    )
+                },
+                "origins": {
+                    f"{operator}/{regime}": origin
+                    for (operator, regime), origin in sorted(
+                        self._correction_origins.items()
+                    )
+                },
+                "morsel_min_rows": self._morsel_min_rows,
+                "morsel_min_groupings": self._morsel_min_groupings,
+            },
+            "refreshes": self._refreshes,
+        }

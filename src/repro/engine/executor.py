@@ -75,6 +75,7 @@ from repro.obs.tracer import NOOP_TRACER, Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.dataflow import AnalysisContext
+    from repro.costmodel.engine_model import EngineCostModel
     from repro.physical.plan import (
         CubeExpand,
         DropTemp,
@@ -166,6 +167,10 @@ class PlanExecutor:
             and regime.  Defaults to the process-wide registry, which is
             the no-op singleton unless explicitly enabled — recording is
             read-only and never changes results.
+        model: cost model for auto-mode resolution and lowering (e.g. a
+            session's calibrated :class:`~repro.costmodel.layers.
+            LayeredCostModel`); None builds fresh uncalibrated models
+            from ``estimator`` as before — bit-identical behavior.
     """
 
     def __init__(
@@ -181,6 +186,7 @@ class PlanExecutor:
         memory_budget_bytes: float | None = None,
         metrics: MetricsRegistry | None = None,
         mode: str = "auto",
+        model: "EngineCostModel | None" = None,
     ) -> None:
         if parallelism < 1:
             raise ExecutionError("parallelism must be >= 1")
@@ -201,6 +207,7 @@ class PlanExecutor:
         self._memory_budget_bytes = memory_budget_bytes
         self._metrics = metrics if metrics is not None else get_metrics()
         self._mode = mode
+        self._model = model
 
     # -- lowering -----------------------------------------------------------------
 
@@ -220,6 +227,10 @@ class PlanExecutor:
         if self._parallelism <= 1:
             return "serial"
         n_groupings = plan.node_count()
+        if self._model is not None:
+            return self._model.execution_mode_choice(
+                n_groupings, self._parallelism
+            ).mode
         if self._estimator is not None:
             from repro.costmodel.engine_model import EngineCostModel
 
@@ -269,6 +280,7 @@ class PlanExecutor:
                 steps=steps,
                 mode=mode,
                 parallelism=self._parallelism,
+                model=self._model,
             )
         except PhysicalPlanError as exc:
             # An inconsistent schedule is the caller's error, reported
@@ -307,6 +319,7 @@ class PlanExecutor:
             catalog=self._catalog,
             base_table=self._base_table,
             estimator=self._estimator,
+            model=self._model,
         )
 
     # -- physical interpretation -------------------------------------------------

@@ -25,7 +25,13 @@ telemetry primitives depend on nothing, and the instrumented layers
 tracer without requiring one.
 """
 
-from repro.obs.analyze import AnalyzedNode, PlanAnalysis, explain_analyze, q_error
+from repro.obs.analyze import (
+    AnalyzedNode,
+    PlanAnalysis,
+    analyze_execution,
+    explain_analyze,
+    q_error,
+)
 from repro.obs.clock import ManualClock, monotonic
 from repro.obs.export import (
     format_snapshot,
@@ -78,6 +84,7 @@ __all__ = [
     "SearchTelemetry",
     "Span",
     "Tracer",
+    "analyze_execution",
     "collapsed_stacks",
     "disable_metrics",
     "enable_metrics",

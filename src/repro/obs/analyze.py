@@ -140,6 +140,23 @@ class PlanAnalysis:
         }
 
 
+class SpanSlice:
+    """A read-only window over recorded spans.
+
+    Duck-types the two :class:`~repro.obs.tracer.Tracer` methods the
+    analysis needs (``spans`` and ``children_of``), so a caller that
+    executed under a shared long-lived tracer can analyze just the
+    spans its run appended — the ``Session`` feedback loop does this
+    when the caller supplied its own recording tracer.
+    """
+
+    def __init__(self, spans: list[Span]) -> None:
+        self.spans = list(spans)
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+
 def _node_spans_by_label(tracer: Tracer) -> dict[str, list[Span]]:
     by_label: dict[str, list[Span]] = {}
     for span in tracer.spans:
@@ -170,36 +187,30 @@ def _operator_of(tracer: Tracer, span: Span) -> tuple[str, str]:
     return "", ""
 
 
-def explain_analyze(
-    session,
+def analyze_execution(
     plan: LogicalPlan,
-    schedule: str = "storage",
-    parallelism: int = 1,
-    mode: str = "auto",
+    execution: "ExecutionResult",
+    tracer: Tracer | SpanSlice,
+    coster,
+    estimator,
 ) -> PlanAnalysis:
-    """Execute ``plan`` instrumented and join estimates with actuals.
+    """Join a traced execution's actuals with the optimizer's estimates.
+
+    The pure-analysis half of :func:`explain_analyze`: callers that
+    already ran the plan under a recording tracer (the ``Session``
+    feedback loop records every ``execute()``) reuse it without paying
+    a second execution.
 
     Args:
-        session: a :class:`repro.api.Session` (duck-typed: needs
-            ``coster()``, ``estimator``, and ``execute(plan, schedule=,
-            tracer=, parallelism=, mode=)``) bound to the plan's base
-            relation.
-        plan: the logical plan to run.
-        schedule: execution schedule, as in ``Session.execute``.
-        parallelism: worker threads for parallel execution (node spans
-            are matched by label, so analysis works identically either
-            way).
-        mode: execution mode, as in ``Session.execute`` (morsel-batched
-            groupings report regime ``morsel``).
+        plan: the logical plan that was executed.
+        execution: the execution result (work counters, wall time).
+        tracer: the tracer the execution recorded ``execute.node``
+            spans into.
+        coster: a :class:`~repro.costmodel.base.PlanCoster` over the
+            model that costed the plan.
+        estimator: the cardinality estimator behind the estimates.
     """
-    tracer = Tracer()
-    execution = session.execute(
-        plan, schedule=schedule, tracer=tracer, parallelism=parallelism,
-        mode=mode,
-    )
     by_label = _node_spans_by_label(tracer)
-    coster = session.coster()
-    estimator = session.estimator
 
     nodes: list[AnalyzedNode] = []
 
@@ -245,4 +256,36 @@ def explain_analyze(
         total_work=execution.metrics.work,
         wall_seconds=execution.wall_seconds,
         execution=execution,
+    )
+
+
+def explain_analyze(
+    session,
+    plan: LogicalPlan,
+    schedule: str = "storage",
+    parallelism: int = 1,
+    mode: str = "auto",
+) -> PlanAnalysis:
+    """Execute ``plan`` instrumented and join estimates with actuals.
+
+    Args:
+        session: a :class:`repro.api.Session` (duck-typed: needs
+            ``coster()``, ``estimator``, and ``execute(plan, schedule=,
+            tracer=, parallelism=, mode=)``) bound to the plan's base
+            relation.
+        plan: the logical plan to run.
+        schedule: execution schedule, as in ``Session.execute``.
+        parallelism: worker threads for parallel execution (node spans
+            are matched by label, so analysis works identically either
+            way).
+        mode: execution mode, as in ``Session.execute`` (morsel-batched
+            groupings report regime ``morsel``).
+    """
+    tracer = Tracer()
+    execution = session.execute(
+        plan, schedule=schedule, tracer=tracer, parallelism=parallelism,
+        mode=mode,
+    )
+    return analyze_execution(
+        plan, execution, tracer, session.coster(), session.estimator
     )

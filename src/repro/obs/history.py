@@ -178,18 +178,27 @@ class CalibrationReport:
 
 
 class PlanHistoryStore:
-    """Append-only JSONL store of estimated-vs-actual run records.
+    """Append-only store of estimated-vs-actual run records.
 
     Args:
-        path: the JSONL file; created (with parents) on first append.
+        path: the JSONL file, created (with parents) on first append;
+            None keeps records in memory only — the session-scoped
+            default for the :class:`~repro.api.Session` feedback loop,
+            gone when the process exits.
     """
 
-    def __init__(self, path: str | Path) -> None:
-        self.path = Path(path)
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: list[dict[str, object]] = []
         self._seq = self._last_seq() + 1
 
+    @property
+    def in_memory(self) -> bool:
+        """True when records live only in this process."""
+        return self.path is None
+
     def _last_seq(self) -> int:
-        if not self.path.exists():
+        if self.path is None or not self.path.exists():
             return -1
         last = -1
         for record in self.records():
@@ -239,15 +248,21 @@ class PlanHistoryStore:
         return record
 
     def _append(self, record: dict[str, object]) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        if self.path is None:
+            self._records.append(record)
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._seq += 1
 
     # -- reading -----------------------------------------------------------------
 
     def records(self) -> Iterable[dict[str, object]]:
         """Every record in append order (empty if the file is absent)."""
+        if self.path is None:
+            yield from self._records
+            return
         if not self.path.exists():
             return
         with open(self.path, encoding="utf-8") as handle:

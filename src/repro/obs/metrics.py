@@ -85,6 +85,13 @@ class HistogramValue:
         index = _bucket_index(value)
         self.buckets[index] = self.buckets.get(index, 0) + 1
 
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed values (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
     def quantile(self, q: float) -> float:
         """Estimated q-quantile from the bucket counts.
 

@@ -93,6 +93,7 @@ class _Lowering:
         memory_budget_bytes: float | None,
         mode: str = "serial",
         parallelism: int = 1,
+        model: EngineCostModel | None = None,
     ) -> None:
         self.plan = plan
         self.catalog = catalog
@@ -103,16 +104,19 @@ class _Lowering:
         self.budget = memory_budget_bytes
         self.mode = mode
         self.parallelism = parallelism
-        self.model = (
-            EngineCostModel(
-                estimator,
-                catalog=catalog,
-                base_table=base_table,
-                use_indexes=use_indexes,
+        if model is not None:
+            self.model: EngineCostModel | None = model
+        else:
+            self.model = (
+                EngineCostModel(
+                    estimator,
+                    catalog=catalog,
+                    base_table=base_table,
+                    use_indexes=use_indexes,
+                )
+                if estimator is not None
+                else None
             )
-            if estimator is not None
-            else None
-        )
         self.ops: list[PhysicalOperator] = []
         self.pipelines: list[PhysicalPipeline] = []
         self.materialized: dict[PlanNode, int] = {}
@@ -138,17 +142,21 @@ class _Lowering:
         return float(self.catalog.get(self.base_table).num_rows)
 
     def choose_grouping(
-        self, keys: Sequence[str], input_rows: float
+        self,
+        keys: Sequence[str],
+        input_rows: float,
+        operator: str | None = None,
     ) -> tuple[str, float, float, int]:
         """(strategy, est_cost, est_mem, partitions) for one grouping.
 
         Applies the budget fallback chain: hash -> sort when the hash
         state is over budget, then partitioned sort when even the sort
-        state is.
+        state is.  ``operator`` keys calibration-factor lookup in the
+        cost model (pass ``'reaggregate'`` for intermediate groupings).
         """
         if self.model is None:
             return "hash", 0.0, 0.0, 1
-        choice = self.model.grouping_choice(keys, input_rows)
+        choice = self.model.grouping_choice(keys, input_rows, operator=operator)
         strategy = choice.strategy
         cost = choice.hash_cost if strategy == "hash" else choice.sort_cost
         mem = choice.mem_bytes
@@ -205,7 +213,7 @@ class _Lowering:
                 )
             input_rows = self.est_rows(step.parent.columns)
             strategy, cost, mem, partitions = self.choose_grouping(
-                keys, input_rows
+                keys, input_rows, operator="reaggregate"
             )
             group_id = self.add_op(
                 Reaggregate(
@@ -470,6 +478,7 @@ def lower(
     parallel: bool = False,
     mode: str | None = None,
     parallelism: int = 1,
+    model: EngineCostModel | None = None,
 ) -> PhysicalPlan:
     """Lower a logical plan to a :class:`PhysicalPlan`.
 
@@ -497,6 +506,10 @@ def lower(
             additionally splits grouping inputs into row-range morsels
             sized from ``parallelism``.
         parallelism: worker count the morsel split targets.
+        model: cost model to lower against (e.g. a session's calibrated
+            :class:`~repro.costmodel.layers.LayeredCostModel`); None
+            builds a fresh uncalibrated :class:`EngineCostModel` from
+            ``estimator`` — today's behavior, bit-identical.
     """
     if mode is None:
         mode = "wavefront" if parallel else "serial"
@@ -515,6 +528,7 @@ def lower(
         memory_budget_bytes,
         mode=mode,
         parallelism=parallelism,
+        model=model,
     )
     waves: tuple[PhysicalWave, ...] | None = None
     if mode != "serial":
@@ -557,6 +571,7 @@ def lower_shared_scan(
     catalog: Catalog,
     base_table: str,
     estimator: CardinalityEstimator | None = None,
+    model: EngineCostModel | None = None,
 ) -> PhysicalPlan:
     """Lower shared-scan batches onto physical operators.
 
@@ -565,11 +580,12 @@ def lower_shared_scan(
     pass over R no matter how many aggregation states it fills, which
     is exactly the shared-scan cost semantics.
     """
-    model = (
-        EngineCostModel(estimator, catalog=catalog, base_table=base_table)
-        if estimator is not None
-        else None
-    )
+    if model is None:
+        model = (
+            EngineCostModel(estimator, catalog=catalog, base_table=base_table)
+            if estimator is not None
+            else None
+        )
     base = catalog.get(base_table)
     input_rows = (
         float(estimator.base_rows)

@@ -22,6 +22,7 @@ from repro.stats.cardinality import (
     CardinalityEstimator,
     ExactCardinalityEstimator,
     SampledCardinalityEstimator,
+    StaleStatisticsEstimator,
 )
 from repro.stats.column_stats import ColumnStats
 from repro.stats.manager import StatisticsManager
@@ -33,6 +34,7 @@ __all__ = [
     "ExactCardinalityEstimator",
     "HypotheticalTable",
     "SampledCardinalityEstimator",
+    "StaleStatisticsEstimator",
     "StatisticsManager",
     "WhatIfRegistry",
 ]

@@ -199,3 +199,38 @@ class SampledCardinalityEstimator:
         self.created_statistics.append(columns)
         self.creation_seconds += time.perf_counter() - started
         return estimate
+
+
+class StaleStatisticsEstimator:
+    """Statistics captured before a data refresh.
+
+    Wraps an estimator built over a *stale snapshot* of the relation
+    while reporting the live table's row count: real systems track the
+    rowcount cheaply on every load but refresh per-column statistics
+    lazily, so after a refresh that changes the data's shape the group
+    counts are systematically wrong in a consistent direction.  That is
+    exactly the bias the Session feedback loop is built to correct —
+    this class reproduces it deterministically for the convergence
+    benchmark and tests.
+
+    Args:
+        snapshot: estimator built over the pre-refresh snapshot (its
+            distinct counts and widths are served unchanged).
+        live_table: the post-refresh relation (its rowcount is served).
+    """
+
+    def __init__(
+        self, snapshot: CardinalityEstimator, live_table: Table
+    ) -> None:
+        self._snapshot = snapshot
+        self._live_table = live_table
+
+    @property
+    def base_rows(self) -> int:
+        return self._live_table.num_rows
+
+    def rows(self, columns: frozenset[str]) -> float:
+        return self._snapshot.rows(frozenset(columns))
+
+    def row_width(self, columns: frozenset[str]) -> float:
+        return self._snapshot.row_width(frozenset(columns))

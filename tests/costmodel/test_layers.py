@@ -1,0 +1,372 @@
+"""Unit tests for the composable cost-model correction layers."""
+
+import pytest
+
+from repro.core.plan import PlanNode
+from repro.costmodel.engine_model import (
+    CALIBRATION_FACTOR_BAND,
+    EngineCostModel,
+    HASH_CPU,
+    MORSEL_MIN_ROWS,
+    SORT_GROUP_CPU,
+)
+from repro.costmodel.layers import (
+    ADAPTIVE_FLOOR_BAND,
+    AdaptiveThresholdLayer,
+    CalibrationLayer,
+    CostLayer,
+    LayeredCostModel,
+    ThresholdOverrides,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.table import Table
+from repro.obs.history import CalibrationReport, PlanHistoryStore, QErrorStats
+from repro.obs.metrics import MetricsRegistry
+from tests.core.support import FakeEstimator
+
+
+def fs(*cols):
+    return frozenset(cols)
+
+
+def make_report(groups):
+    """CalibrationReport from {key: (q_errors, 'under'|'over')}."""
+    stats = {}
+    for key, (q_errors, direction) in groups.items():
+        s = QErrorStats()
+        for q in q_errors:
+            if direction == "under":
+                s.add(q, est_rows=1.0, actual_rows=q)
+            else:
+                s.add(q, est_rows=q, actual_rows=1.0)
+        stats[key] = s
+    return CalibrationReport(
+        groups=stats,
+        runs=sum(s.count for s in stats.values()),
+        fingerprints=1,
+    )
+
+
+class FakeHistory:
+    """Duck-typed history source serving a fixed report."""
+
+    def __init__(self, report: CalibrationReport) -> None:
+        self.report = report
+
+    def calibration(self, relation=None) -> CalibrationReport:
+        return self.report
+
+
+class StubLayer:
+    """Hand-set CostLayer for merge/provenance tests."""
+
+    def __init__(self, name, factors=None, thresholds=None):
+        self.name = name
+        self._factors = dict(factors or {})
+        self._thresholds = thresholds or ThresholdOverrides()
+
+    def refresh(self) -> bool:
+        return False
+
+    def grouping_factors(self):
+        return dict(self._factors)
+
+    def thresholds(self) -> ThresholdOverrides:
+        return self._thresholds
+
+    def describe(self):
+        return {"layer": self.name}
+
+
+class TestCalibrationLayer:
+    def test_empty_store_is_identity(self):
+        layer = CalibrationLayer(PlanHistoryStore())
+        assert layer.refresh() is False
+        assert layer.grouping_factors() == {}
+        assert layer.thresholds().is_empty()
+        assert layer.runs == 0
+
+    def test_fewer_than_min_runs_ignored(self):
+        report = make_report(
+            {("hash_group_by", "hash"): ([8.0, 8.0], "under")}
+        )
+        layer = CalibrationLayer(FakeHistory(report), min_runs=3)
+        layer.refresh()
+        assert layer.grouping_factors() == {}
+
+    def test_min_runs_knob_lowers_the_bar(self):
+        report = make_report(
+            {("hash_group_by", "hash"): ([2.0], "under")}
+        )
+        layer = CalibrationLayer(FakeHistory(report), min_runs=1)
+        assert layer.refresh() is True
+        assert layer.grouping_factors()[("hash_group_by", "hash")] == (
+            pytest.approx(2.0)
+        )
+
+    def test_clamp_boundaries_respected(self):
+        report = make_report(
+            {
+                ("hash_group_by", "hash"): ([100.0] * 3, "under"),
+                ("sort_group_by", "sort"): ([100.0] * 3, "over"),
+            }
+        )
+        layer = CalibrationLayer(FakeHistory(report))
+        layer.refresh()
+        factors = layer.grouping_factors()
+        lower, upper = CALIBRATION_FACTOR_BAND
+        assert factors[("hash_group_by", "hash")] == upper
+        assert factors[("sort_group_by", "sort")] == lower
+
+    def test_custom_clamp_band(self):
+        report = make_report(
+            {("hash_group_by", "hash"): ([100.0] * 3, "under")}
+        )
+        layer = CalibrationLayer(FakeHistory(report), clamp=(0.5, 2.0))
+        layer.refresh()
+        assert layer.grouping_factors()[("hash_group_by", "hash")] == 2.0
+
+    def test_mixed_bias_cell_stays_identity(self):
+        # Equal-magnitude over and under estimates cancel: the gmean of
+        # the signed ratios is 1, so no correction is derived.
+        stats = QErrorStats()
+        stats.add(4.0, est_rows=1.0, actual_rows=4.0)
+        stats.add(4.0, est_rows=4.0, actual_rows=1.0)
+        stats.add(1.0, est_rows=1.0, actual_rows=1.0)
+        report = CalibrationReport(
+            groups={("hash_group_by", "hash"): stats}, runs=3, fingerprints=1
+        )
+        layer = CalibrationLayer(FakeHistory(report))
+        layer.refresh()
+        assert layer.grouping_factors() == {}
+
+    def test_refresh_reports_change_then_stability(self):
+        report = make_report(
+            {("hash_group_by", "hash"): ([2.0] * 3, "under")}
+        )
+        layer = CalibrationLayer(FakeHistory(report))
+        assert layer.refresh() is True
+        assert layer.refresh() is False
+
+    def test_knob_validation(self):
+        store = PlanHistoryStore()
+        with pytest.raises(ValueError, match="min_runs"):
+            CalibrationLayer(store, min_runs=0)
+        with pytest.raises(ValueError, match="clamp"):
+            CalibrationLayer(store, clamp=(0.0, 2.0))
+        with pytest.raises(ValueError, match="clamp"):
+            CalibrationLayer(store, clamp=(3.0, 2.0))
+
+    def test_describe_is_json_friendly(self):
+        report = make_report(
+            {("hash_group_by", "hash"): ([2.0] * 3, "under")}
+        )
+        layer = CalibrationLayer(FakeHistory(report))
+        layer.refresh()
+        described = layer.describe()
+        assert described["layer"] == "calibration"
+        assert described["factors"] == {
+            "hash_group_by/hash": pytest.approx(2.0)
+        }
+
+
+class TestAdaptiveThresholdLayer:
+    #: Ratio the static constants predict for sort vs hash per row.
+    REFERENCE = (HASH_CPU + SORT_GROUP_CPU) / HASH_CPU
+
+    def observe_ops(self, registry, hash_seconds, sort_seconds, n=5):
+        for _ in range(n):
+            registry.observe(
+                "repro_executor_op_seconds", hash_seconds, op="hash_group_by"
+            )
+            registry.observe(
+                "repro_executor_op_seconds", sort_seconds, op="sort_group_by"
+            )
+
+    def test_no_observations_is_identity(self):
+        layer = AdaptiveThresholdLayer(MetricsRegistry())
+        assert layer.refresh() is False
+        assert layer.grouping_factors() == {}
+        assert layer.thresholds().is_empty()
+
+    def test_too_few_observations_ignored(self):
+        registry = MetricsRegistry()
+        self.observe_ops(registry, 0.01, 1.0, n=3)
+        layer = AdaptiveThresholdLayer(registry, min_observations=5)
+        layer.refresh()
+        assert layer.grouping_factors() == {}
+
+    def test_sort_factor_tracks_observed_ratio(self):
+        registry = MetricsRegistry()
+        # Observed sort/hash ratio = 2x the static prediction.
+        self.observe_ops(registry, 0.01, 0.01 * self.REFERENCE * 2.0)
+        layer = AdaptiveThresholdLayer(registry)
+        assert layer.refresh() is True
+        assert layer.grouping_factors()[("sort_group_by", "sort")] == (
+            pytest.approx(2.0)
+        )
+
+    def test_sort_factor_clamped_to_band(self):
+        registry = MetricsRegistry()
+        self.observe_ops(registry, 0.01, 0.01 * self.REFERENCE * 100.0)
+        layer = AdaptiveThresholdLayer(registry)
+        layer.refresh()
+        assert layer.grouping_factors()[("sort_group_by", "sort")] == (
+            CALIBRATION_FACTOR_BAND[1]
+        )
+
+    def test_mode_floor_scales_with_run_ratio(self):
+        registry = MetricsRegistry()
+        for _ in range(5):
+            registry.observe(
+                "repro_executor_run_seconds", 0.1, relation="t", mode="serial"
+            )
+            registry.observe(
+                "repro_executor_run_seconds", 0.05, relation="t", mode="morsel"
+            )
+        layer = AdaptiveThresholdLayer(registry, relation="t")
+        assert layer.refresh() is True
+        assert layer.thresholds().morsel_min_rows == pytest.approx(
+            MORSEL_MIN_ROWS * 0.5
+        )
+
+    def test_mode_floor_clamped_to_band(self):
+        registry = MetricsRegistry()
+        for _ in range(5):
+            registry.observe(
+                "repro_executor_run_seconds", 1.0, relation="t", mode="serial"
+            )
+            registry.observe(
+                "repro_executor_run_seconds", 1e-4, relation="t", mode="morsel"
+            )
+        layer = AdaptiveThresholdLayer(registry, relation="t")
+        layer.refresh()
+        assert layer.thresholds().morsel_min_rows == pytest.approx(
+            MORSEL_MIN_ROWS / ADAPTIVE_FLOOR_BAND
+        )
+
+    def test_no_relation_disables_floor(self):
+        registry = MetricsRegistry()
+        for _ in range(5):
+            registry.observe(
+                "repro_executor_run_seconds", 0.1, relation="t", mode="serial"
+            )
+            registry.observe(
+                "repro_executor_run_seconds", 0.05, relation="t", mode="morsel"
+            )
+        layer = AdaptiveThresholdLayer(registry, relation=None)
+        layer.refresh()
+        assert layer.thresholds().is_empty()
+
+    def test_min_observations_validation(self):
+        with pytest.raises(ValueError, match="min_observations"):
+            AdaptiveThresholdLayer(MetricsRegistry(), min_observations=0)
+
+
+class TestLayeredCostModel:
+    def _model(self, layers=()):
+        table = Table(
+            "t",
+            {
+                "a": list(range(100)),
+                "b": [i % 7 for i in range(100)],
+            },
+        )
+        catalog = Catalog()
+        catalog.add_table(table)
+        estimator = FakeEstimator(100, {"a": 100, "b": 7})
+        return LayeredCostModel(
+            estimator, layers=layers, catalog=catalog, base_table="t"
+        )
+
+    def test_layers_satisfy_protocol(self):
+        assert isinstance(CalibrationLayer(PlanHistoryStore()), CostLayer)
+        assert isinstance(AdaptiveThresholdLayer(MetricsRegistry()), CostLayer)
+        assert isinstance(StubLayer("stub"), CostLayer)
+
+    def test_no_layers_bit_identical_to_base(self):
+        layered = self._model()
+        layered.refresh()
+        base = EngineCostModel(
+            FakeEstimator(100, {"a": 100, "b": 7}),
+            catalog=layered.catalog,
+            base_table="t",
+        )
+        for materialize in (False, True):
+            node = PlanNode(fs("a", "b"))
+            assert layered.edge_cost(None, node, materialize) == (
+                base.edge_cost(None, node, materialize)
+            )
+
+    def test_factors_merge_by_product_with_joined_origins(self):
+        key = ("hash_group_by", "hash")
+        model = self._model(
+            layers=(
+                StubLayer("calibration", factors={key: 2.0}),
+                StubLayer("adaptive", factors={key: 3.0}),
+            )
+        )
+        assert model.refresh() is True
+        assert model.corrections[key] == pytest.approx(6.0)
+        assert model.correction_origins[key] == "adaptive+calibration"
+
+    def test_identity_product_dropped(self):
+        key = ("hash_group_by", "hash")
+        model = self._model(
+            layers=(
+                StubLayer("up", factors={key: 2.0}),
+                StubLayer("down", factors={key: 0.5}),
+            )
+        )
+        model.refresh()
+        assert model.corrections == {}
+
+    def test_last_threshold_override_wins(self):
+        model = self._model(
+            layers=(
+                StubLayer(
+                    "first",
+                    thresholds=ThresholdOverrides(morsel_min_rows=1000.0),
+                ),
+                StubLayer(
+                    "second",
+                    thresholds=ThresholdOverrides(morsel_min_rows=2000.0),
+                ),
+            )
+        )
+        model.refresh()
+        assert model.morsel_min_rows == 2000.0
+
+    def test_refresh_change_detection(self):
+        report = make_report(
+            {("hash_group_by", "hash"): ([2.0] * 3, "under")}
+        )
+        history = FakeHistory(report)
+        model = self._model(layers=(CalibrationLayer(history),))
+        assert model.refresh() is True
+        assert model.refresh() is False
+        history.report = make_report(
+            {("hash_group_by", "hash"): ([4.0] * 3, "under")}
+        )
+        assert model.refresh() is True
+        assert model.refreshes == 3
+
+    def test_corrections_move_grouping_choice_and_attribution(self):
+        key = ("hash_group_by", "hash")
+        model = self._model(layers=(StubLayer("calibration", {key: 5.0}),))
+        before = model.grouping_choice(fs("a", "b"), 100.0)
+        assert before.decided_by == "static"
+        model.refresh()
+        after = model.grouping_choice(fs("a", "b"), 100.0)
+        assert after.hash_cost == pytest.approx(before.hash_cost * 5.0)
+        assert after.decided_by in ("static", "calibration")
+
+    def test_describe_shape(self):
+        model = self._model(
+            layers=(CalibrationLayer(PlanHistoryStore()),)
+        )
+        model.refresh()
+        described = model.describe()
+        assert set(described) == {"base", "layers", "merged", "refreshes"}
+        assert described["layers"][0]["layer"] == "calibration"
+        assert described["merged"]["corrections"] == {}

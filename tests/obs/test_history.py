@@ -83,6 +83,28 @@ class TestStore:
         assert store.calibration().runs == 0
 
 
+class TestInMemoryStore:
+    def test_defaults_to_in_memory(self):
+        store = PlanHistoryStore()
+        assert store.in_memory
+        assert store.path is None
+        assert list(store.records()) == []
+
+    def test_round_trip_without_a_file(self, sales_session):
+        session, plan = sales_session
+        store = PlanHistoryStore()
+        analysis = session.explain_analyze(plan)
+        store.append_analysis(analysis, plan)
+        store.append_analysis(analysis, plan)
+        seqs = [r["seq"] for r in store.records()]
+        assert seqs == [0, 1]
+        assert store.calibration().runs == 2
+
+    def test_path_store_not_in_memory(self, tmp_path):
+        store = PlanHistoryStore(tmp_path / "history.jsonl")
+        assert not store.in_memory
+
+
 class TestCalibration:
     def test_serial_and_parallel_runs_group_identically(
         self, sales_session, tmp_path

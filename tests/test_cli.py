@@ -504,3 +504,136 @@ class TestHistoryAndCalibration:
     def test_calibration_missing_file_exits_2(self, tmp_path, capsys):
         assert main(["calibration", str(tmp_path / "absent.jsonl")]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def _recorded_history(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        assert (
+            main(
+                [
+                    "explain",
+                    "--workload", "sales",
+                    "--rows", "2000",
+                    "--analyze",
+                    "--history", str(history),
+                ]
+            )
+            == 0
+        )
+        return history
+
+    def test_calibration_prints_corrections_section(self, tmp_path, capsys):
+        history = self._recorded_history(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "calibration", str(history),
+                    "--min-runs", "1",
+                    "--clamp", "0.5", "2.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "corrections (min-runs 1, clamp [0.5, 2])" in out
+
+    def test_calibration_knobs_in_json(self, tmp_path, capsys):
+        import json
+
+        history = self._recorded_history(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "calibration", str(history),
+                    "--min-runs", "1",
+                    "--format", "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["min_runs"] == 1
+        assert payload["clamp"] == [0.2, 5.0]
+        assert isinstance(payload["corrections"], dict)
+
+    def test_calibration_bad_clamp_exits_2(self, tmp_path, capsys):
+        history = self._recorded_history(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(["calibration", str(history), "--clamp", "5.0", "0.2"]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAdaptive:
+    def test_feedback_loop_runs(self, capsys):
+        code = main(
+            [
+                "adaptive",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--runs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "feedback: enabled" in out
+        assert "recorded 2 executions" in out
+        assert "est-cost drift" in out
+
+    def test_no_feedback_escape_hatch(self, capsys):
+        code = main(
+            [
+                "adaptive",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--runs", "2",
+                "--no-feedback",
+            ]
+        )
+        assert code == 0
+        assert "feedback: disabled" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json
+
+        code = main(
+            [
+                "adaptive",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--runs", "2",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["runs"]) == 2
+        assert payload["adaptive_state"]["feedback"] is True
+        assert payload["adaptive_state"]["model"]["refreshes"] == 2
+
+    def test_history_flag_persists_runs(self, tmp_path, capsys):
+        history = tmp_path / "adaptive.jsonl"
+        code = main(
+            [
+                "adaptive",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--runs", "2",
+                "--history", str(history),
+            ]
+        )
+        assert code == 0
+        assert history.exists()
+        assert len(history.read_text().splitlines()) == 2
+
+    def test_requires_source(self, capsys):
+        assert main(["adaptive", "--runs", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_runs(self, capsys):
+        assert (
+            main(["adaptive", "--workload", "sales", "--runs", "0"]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
