@@ -62,6 +62,7 @@ SUITES: dict[str, tuple[str, str]] = {
     "obs": ("bench_obs.py", "BENCH_obs.json"),
     "morsel": ("bench_morsel.py", "BENCH_morsel.json"),
     "adaptive": ("bench_adaptive.py", "BENCH_adaptive.json"),
+    "cache": ("bench_cache.py", "BENCH_cache.json"),
 }
 
 #: Relative timing tolerance that flags advisory drift / hard failure.

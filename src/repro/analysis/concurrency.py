@@ -44,7 +44,7 @@ from typing import Iterator
 from repro.analysis.linter import Finding, code_rule
 
 #: Path scope: the modules that execute under the wavefront pool.
-_CONCURRENCY_SCOPE = ("repro/engine/", "repro/obs/")
+_CONCURRENCY_SCOPE = ("repro/engine/", "repro/obs/", "repro/cache/")
 
 #: Container methods that mutate their receiver in place.
 _MUTATING_METHODS = frozenset(

@@ -29,7 +29,7 @@ domains:
   carry dictionaries encoded *after* the temp was built (the executor
   encodes exactly the producer's grouping keys).
 
-The PV016–PV023 rules registered here consume these states; they run
+The PV016+ rules registered here consume these states; they run
 through the same :func:`~repro.analysis.physrules.verify_physical_plan`
 driver as the structural rules.  Rules marked ``requires`` only run
 when the :class:`AnalysisContext` carries the needed ingredient
@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.analysis.diagnostics import DiagnosticCollector, Severity
 from repro.analysis.physrules import physical_rule
 from repro.physical.plan import (
+    CacheRead,
     CubeExpand,
     DropTemp,
     GroupingOperator,
@@ -249,6 +250,8 @@ class DataflowAnalysis:
             return self._transfer_index_scan(op)
         if isinstance(op, GroupingOperator):
             return self._transfer_grouping(op)
+        if isinstance(op, CacheRead):
+            return self._transfer_cache_read(op)
         if isinstance(op, Materialize):
             return self._transfer_materialize(op)
         if isinstance(op, CubeExpand):
@@ -311,6 +314,28 @@ class DataflowAnalysis:
             sorted_by=tuple(sorted(op.keys)),
             fresh=keys,
             complete=complete,
+        )
+
+    def _transfer_cache_read(self, op: CacheRead) -> AbstractState:
+        """A cached grouping result behaves like the grouping that
+        produced it: grouped and sorted on its key set, complete, with
+        materialization-fresh key dictionaries (``ResultCache.put``
+        builds them on admission)."""
+        keys = frozenset(op.keys)
+        base = AbstractState(
+            columns=None,
+            grouping=None,
+            rows=self._table_rows(op.table),
+            sorted_by=(),
+            fresh=frozenset(),
+        )
+        return AbstractState(
+            columns=keys,
+            grouping=keys,
+            rows=self.group_interval(op.keys, base),
+            sorted_by=tuple(sorted(op.keys)),
+            fresh=keys,
+            complete=True,
         )
 
     def _transfer_materialize(self, op: Materialize) -> AbstractState:
@@ -795,3 +820,75 @@ def check_calibration_consistency(
                 "state than the verifying context carries — re-lower "
                 "after refreshing the layered cost model.",
             )
+
+
+# -- PV025: cache-read soundness ----------------------------------------------
+
+
+@physical_rule(
+    "PV025",
+    "cache-read-soundness",
+    "A CacheRead's key set covers every consumer's grouping (lattice "
+    "derivability), directly-answered queries equal its own keys, and "
+    "its pinned source version matches the live catalog (no stale "
+    "reads).",
+)
+def check_cache_read_soundness(
+    analysis: DataflowAnalysis, out: DiagnosticCollector
+) -> None:
+    """Soundness of serving groupings from the semantic result cache.
+
+    The version clause self-gates on catalog presence so context-free
+    gates (serialized-plan loads, ``PhysicalPlan.check()``) still pass;
+    the executor's gate carries the catalog and turns a stale pinned
+    version into a hard error before any cached rows are served.
+    """
+    catalog = analysis.context.catalog
+    plan = analysis.plan
+    for op in plan.operators:
+        if not isinstance(op, CacheRead):
+            continue
+        where = _where(op)
+        keys = frozenset(op.keys)
+        if op.query is not None and op.query != tuple(sorted(op.keys)):
+            out.emit(
+                "PV025",
+                Severity.ERROR,
+                where,
+                f"answers query ({','.join(op.query)}) but serves the "
+                f"cached grouping ({','.join(sorted(keys))})",
+                hint="a cache read can only directly answer the query "
+                "equal to its own key set; coarser queries go through "
+                "a Reaggregate.",
+            )
+        for consumer in plan.operators:
+            if (
+                not isinstance(consumer, Reaggregate)
+                or consumer.source != op.op_id
+            ):
+                continue
+            wanted = frozenset(consumer.keys)
+            if not wanted < keys:
+                out.emit(
+                    "PV025",
+                    Severity.ERROR,
+                    _where(consumer),
+                    f"derives ({','.join(sorted(wanted))}) from a cache "
+                    f"entry grouped on ({','.join(sorted(keys))}), "
+                    "which is not strictly finer",
+                    hint="a cached grouping can only answer strict "
+                    "coarsenings of its own key set.",
+                )
+        if catalog is not None and op.table in catalog:
+            live = catalog.version(op.table)
+            if op.version != live:
+                out.emit(
+                    "PV025",
+                    Severity.ERROR,
+                    where,
+                    f"pins {op.table!r} at version {op.version} but the "
+                    f"catalog is at version {live}",
+                    hint="the source table mutated after lowering; "
+                    "re-lower the plan so the cache probe sees the "
+                    "current version.",
+                )

@@ -45,6 +45,7 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.verifier import PlanVerificationError
 from repro.physical.plan import (
+    CacheRead,
     DropTemp,
     GroupingOperator,
     Materialize,
@@ -201,6 +202,10 @@ def check_materialize_before_reuse(
         source = plan.operators[op.source] if 0 <= op.source < len(
             plan.operators
         ) else None
+        if isinstance(source, CacheRead):
+            # A cache-fed Reaggregate reads its parent from the pipeline
+            # environment, not the catalog: same-pipeline is the point.
+            continue
         if not isinstance(source, Materialize):
             out.emit(
                 "PV013",

@@ -39,6 +39,7 @@ from repro.costmodel.layers import (
     CostLayer,
     LayeredCostModel,
 )
+from repro.cache import CacheConfig, ResultCache
 from repro.engine.aggregation import AggregateSpec
 from repro.engine.catalog import Catalog
 from repro.engine.executor import ExecutionResult, PlanExecutor
@@ -142,6 +143,19 @@ class Session:
             session holds ONE layered cost model across optimize calls,
             records every ``execute()`` into its history store, and
             refreshes the correction layers on the configured cadence.
+        cache: False (default — bit-identical to a cache-less session),
+            True for a semantic result cache with the default
+            :class:`~repro.cache.CacheConfig`, or a config for full
+            control.  When enabled, finished grouping results are
+            admitted into a :class:`~repro.cache.ResultCache` and later
+            runs serve exact or lattice-derivable hits through
+            zero-scan-cost ``CacheRead`` operators; base-table mutations
+            (``catalog.replace_table`` / :meth:`invalidate`) drop
+            dependent entries atomically.
+
+    Sessions are context managers: ``with Session.for_table(t) as s:``
+    releases held resources (history file handle, cached results,
+    cached dictionaries) on exit via :meth:`close`.
     """
 
     def __init__(
@@ -155,6 +169,7 @@ class Session:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         feedback: bool | FeedbackConfig = False,
+        cache: bool | CacheConfig = False,
     ) -> None:
         self.catalog = catalog
         self.base_table = base_table
@@ -181,6 +196,16 @@ class Session:
                 # The adaptive layer reads latency distributions; a
                 # no-op registry would starve it, so record privately.
                 self.metrics = MetricsRegistry()
+        self._result_cache: ResultCache | None = None
+        if cache:
+            config = cache if isinstance(cache, CacheConfig) else None
+            result_cache = ResultCache(config, metrics=self.metrics)
+            self._result_cache = result_cache
+            # Version bumps (replace_table, drop, clustered-index
+            # builds) atomically drop every dependent cache entry.
+            catalog.add_invalidation_hook(
+                lambda name, version: result_cache.invalidate(name)
+            )
         self._cost_model: CostModel | None = None
         self._coster: PlanCoster | None = None
         self.executions_recorded = 0
@@ -209,6 +234,7 @@ class Session:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         feedback: bool | FeedbackConfig = False,
+        cache: bool | CacheConfig = False,
     ) -> "Session":
         """Build a session around one table.
 
@@ -226,6 +252,9 @@ class Session:
             feedback: the estimate→actual feedback loop — off (False,
                 default), default config (True), or a
                 :class:`FeedbackConfig`.
+            cache: the semantic result cache — off (False, default),
+                default config (True), or a
+                :class:`~repro.cache.CacheConfig`.
         """
         catalog = Catalog()
         catalog.add_table(table)
@@ -246,6 +275,7 @@ class Session:
             tracer=tracer,
             metrics=metrics,
             feedback=feedback,
+            cache=cache,
         )
 
     # -- cost model / coster ------------------------------------------------------
@@ -259,6 +289,64 @@ class Session:
     def feedback_enabled(self) -> bool:
         """Whether the estimate→actual feedback loop is active."""
         return self._feedback is not None
+
+    # -- result cache ----------------------------------------------------------
+
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The semantic result cache (None when caching is off)."""
+        return self._result_cache
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether the semantic result cache is active."""
+        return self._result_cache is not None
+
+    def cache_stats(self) -> dict[str, object]:
+        """Hit/eviction/byte accounting of the result cache.
+
+        Returns ``{"enabled": False}`` when caching is off; otherwise
+        ``enabled: True`` plus every counter from
+        :meth:`~repro.cache.ResultCache.stats`.
+        """
+        if self._result_cache is None:
+            return {"enabled": False}
+        return {"enabled": True, **self._result_cache.stats()}
+
+    def invalidate(self, table: str | None = None) -> int:
+        """Record a mutation of ``table`` (default: the base relation).
+
+        Bumps the catalog's version counter, which atomically drops
+        every dependent result-cache entry through the invalidation
+        hook; returns the new version.  Callers that mutate table
+        contents outside :meth:`~repro.engine.catalog.Catalog.
+        replace_table` use this to keep cached results sound.
+        """
+        return self.catalog.bump_version(table or self.base_table)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release session-held resources.
+
+        Closes the feedback history's append handle, drops every result
+        cache entry, clears the plan cache, and drops cached column
+        dictionaries from the catalog's tables.  The session stays
+        usable afterwards — the caches simply start cold again.
+        """
+        if self._history is not None:
+            self._history.close()
+        if self._result_cache is not None:
+            self._result_cache.clear()
+        self._plan_cache.clear()
+        for name in self.catalog.table_names():
+            self.catalog.get(name).drop_dictionaries()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def cost_model(self) -> CostModel:
         """The session's single cost-model instance.
@@ -487,6 +575,7 @@ class Session:
             metrics=self.metrics,
             mode=mode,
             model=model,
+            result_cache=self._result_cache,
         )
 
     def execute(

@@ -1,0 +1,36 @@
+"""Semantic result cache: cross-query reuse over the grouping lattice.
+
+The paper's derivability insight — a coarser Group By is computable from
+a finer one by reaggregation — is exploited *within* one optimized plan
+by the GB-MQO optimizer.  This package extends the same insight *across*
+``Session.execute()`` calls: finished grouping results are retained in a
+session-scoped :class:`ResultCache`, a :class:`DerivabilityIndex` over
+the grouping lattice answers "which cached entry can serve grouping G",
+and the physical lowering substitutes ``CacheRead`` (exact hit) or
+``CacheRead -> Reaggregate`` (derivable hit) chains when the cost model
+says the cached path is genuinely cheaper than recomputing.
+
+Invalidation is versioned through the :class:`~repro.engine.catalog.Catalog`:
+every entry records the source table's version at population time, and a
+catalog mutation bumps the version and drops dependent entries.
+"""
+
+from repro.cache.result_cache import (
+    CacheConfig,
+    CacheEntry,
+    CacheProbe,
+    DerivabilityIndex,
+    ResultCache,
+    aggregate_signature,
+    grouping_fingerprint,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheEntry",
+    "CacheProbe",
+    "DerivabilityIndex",
+    "ResultCache",
+    "aggregate_signature",
+    "grouping_fingerprint",
+]

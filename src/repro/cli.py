@@ -12,6 +12,7 @@ Subcommands::
     python -m repro.cli calibration history.jsonl [--relation R]
     python -m repro.cli adaptive --workload sales --runs 5 [--no-feedback]
     python -m repro.cli analyze-plan --workload sales [--states]
+    python -m repro.cli cache --workload sales --runs 3 [--max-bytes N]
     python -m repro.cli lint-plan plan.json [--max-storage-bytes N]
     python -m repro.cli lint-code [paths ...]
 
@@ -34,9 +35,15 @@ how the layered cost model drifts run over run (``--no-feedback``
 re-runs the same loop with the loop disabled as an A/B escape hatch);
 ``analyze-plan`` optimizes, lowers, and runs the abstract-interpretation
 dataflow analyzer (PV012+) over the physical plan with full catalog and
-cardinality context; ``lint-plan`` runs the static plan verifier over a
-serialized plan; ``lint-code`` runs the custom AST lints over the repro
-sources.
+cardinality context; ``cache`` runs a workload repeatedly with the
+semantic result cache enabled and reports hit/eviction accounting plus
+the resident entries; ``lint-plan`` runs the static plan verifier over
+a serialized plan; ``lint-code`` runs the custom AST lints over the
+repro sources.
+
+The observability subcommands accept ``--cache`` to enable the semantic
+result cache for the run (repeated groupings are served from cached
+results instead of rescanning the base relation).
 
 The static-analysis subcommands share one exit-code contract: 0 clean,
 1 findings, 2 usage/input error.  ``lint-plan`` exits 1 only on
@@ -205,23 +212,29 @@ def _obs_session(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     feedback=False,
+    cache=None,
 ) -> tuple[Session, list[frozenset[str]]]:
     """Session + workload for the observability subcommands.
 
     The source is either a CSV path (like the other subcommands) or one
-    of the built-in synthetic relations via ``--workload``.
+    of the built-in synthetic relations via ``--workload``.  ``cache``
+    None defers to the subcommand's ``--cache`` flag; a bool or
+    :class:`~repro.cache.CacheConfig` overrides it.
     """
     if args.csv:
         table = load_csv(args.csv, max_rows=args.max_rows)
     else:
         table = WORKLOAD_BUILDERS[args.workload](args.rows)
     table.build_dictionaries()
+    if cache is None:
+        cache = getattr(args, "cache", False)
     session = Session.for_table(
         table,
         statistics=args.statistics,
         tracer=tracer,
         metrics=metrics,
         feedback=feedback,
+        cache=cache,
     )
     columns = args.columns.split(",") if args.columns else list(table.column_names)
     if args.queries:
@@ -604,6 +617,84 @@ def cmd_analyze_plan(args) -> int:
     return 1 if diagnostics else 0
 
 
+def cmd_cache(args) -> int:
+    from repro.cache import CacheConfig
+
+    if not _require_source(args):
+        return 2
+    if args.runs < 1:
+        print(f"error: --runs must be >= 1, got {args.runs}", file=sys.stderr)
+        return 2
+    try:
+        config = CacheConfig(
+            **{
+                key: value
+                for key, value in (
+                    ("max_bytes", args.max_bytes),
+                    ("min_rows", args.min_rows),
+                )
+                if value is not None
+            }
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session, queries = _obs_session(args, cache=config)
+    result = session.optimize(queries)
+    runs: list[dict[str, object]] = []
+    for index in range(args.runs):
+        execution = session.execute(
+            result.plan, parallelism=args.parallelism, mode=args.mode
+        )
+        runs.append(
+            {
+                "run": index + 1,
+                "wall_seconds": execution.wall_seconds,
+                "queries_executed": execution.metrics.queries_executed,
+                "rows_scanned": execution.metrics.rows_scanned,
+            }
+        )
+    stats = session.cache_stats()
+    cache = session.result_cache
+    assert cache is not None
+    entries = [entry.as_dict() for entry in cache.entries()]
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"runs": runs, "stats": stats, "entries": entries},
+                indent=2,
+            )
+        )
+        return 0
+    print(f"{'run':>3}  {'wall ms':>8}  {'queries':>7}  {'rows scanned':>12}")
+    for record in runs:
+        print(
+            f"{record['run']:>3}  "
+            f"{float(record['wall_seconds']) * 1e3:>8.2f}  "  # type: ignore[arg-type]
+            f"{record['queries_executed']:>7}  "
+            f"{record['rows_scanned']:>12,}"
+        )
+    print(
+        f"\ncache: {stats['entries']} entries, {stats['bytes']:,} / "
+        f"{stats['max_bytes']:,} bytes ({stats['policy']} eviction)"
+    )
+    print(
+        f"hits {stats['hits']}  derived hits {stats['derived_hits']}  "
+        f"misses {stats['misses']}  evictions {stats['evictions']}  "
+        f"rejected {stats['rejected']}"
+    )
+    if entries:
+        print("\nresident entries (most recently used first):")
+        for entry in entries:
+            keys = ",".join(entry["keys"])  # type: ignore[arg-type]
+            print(
+                f"  {entry['fingerprint']}  ({keys})  "
+                f"{entry['rows']:,} rows  {entry['bytes']:,}B  "
+                f"hits {entry['hits']}  v{entry['version']}"
+            )
+    return 0
+
+
 def _split_rules(spec: str | None) -> list[str] | None:
     if not spec:
         return None
@@ -813,6 +904,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="plan-wide transient-memory budget for the physical "
             "lowering (groupings over it sort or partition)",
         )
+        p.add_argument(
+            "--cache",
+            action="store_true",
+            help="enable the semantic result cache: repeated groupings "
+            "are served from cached results (exactly or via lattice "
+            "reaggregation) instead of rescanning the base relation",
+        )
 
     def format_option(p):
         p.add_argument(
@@ -999,6 +1097,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     format_option(analyze)
     analyze.set_defaults(fn=cmd_analyze_plan)
+
+    cache = sub.add_parser(
+        "cache",
+        help="run a workload under the semantic result cache and report "
+        "hit/eviction accounting",
+        description="Optimize the workload once, execute it --runs "
+        "times inside one Session with the semantic result cache "
+        "enabled, and report per-run wall time and scan volume plus "
+        "the cache's hit/derived-hit/miss/eviction counters and the "
+        "resident entries.  Run 1 is cold (populates the cache); later "
+        "runs serve groupings from cached results, exactly or by "
+        "lattice reaggregation.",
+        epilog="exit status: 0 = success, 2 = usage or input error",
+    )
+    obs_common(cache)
+    cache.add_argument(
+        "--runs",
+        type=int,
+        default=2,
+        help="execute iterations; run 1 is the cold run (default 2)",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="cache byte budget (default 64 MiB)",
+    )
+    cache.add_argument(
+        "--min-rows",
+        type=int,
+        default=None,
+        help="admit results only from inputs with at least this many "
+        "rows (default 0)",
+    )
+    format_option(cache)
+    cache.set_defaults(fn=cmd_cache)
 
     lint_plan = sub.add_parser(
         "lint-plan",

@@ -10,7 +10,7 @@ breadth-first / depth-first sequencing actually minimizes peak storage.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.engine.indexes import Index, IndexSpec
 from repro.engine.table import Table
@@ -28,9 +28,16 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._temp_names: set[str] = set()
         self._indexes: dict[str, list[Index]] = {}
-        # Guards temp registration and the storage meter: the parallel
-        # wavefront executor materializes temps from worker threads.
+        # Guards temp registration, the storage meter, and the version
+        # map: the parallel wavefront executor materializes temps from
+        # worker threads.
         self._temp_lock = threading.Lock()
+        # Per-table mutation counter.  Any operation that changes a base
+        # table's contents or physical order bumps it; the semantic
+        # result cache pins entries to the version they were computed
+        # against, so a bump invalidates them.
+        self._versions: dict[str, int] = {}
+        self._invalidation_hooks: list[Callable[[str, int], None]] = []
         self.current_temp_bytes = 0
         self.peak_temp_bytes = 0
         self.total_temp_bytes_written = 0
@@ -68,6 +75,55 @@ class Catalog:
         with self._temp_lock:
             del self._tables[name]
         self._indexes.pop(name, None)
+        self.bump_version(name)
+
+    # -- versioning -----------------------------------------------------------
+
+    def version(self, name: str) -> int:
+        """Current mutation version of ``name`` (0 if never mutated)."""
+        with self._temp_lock:
+            return self._versions.get(name, 0)
+
+    def bump_version(self, name: str) -> int:
+        """Record a mutation of ``name`` and fire invalidation hooks.
+
+        The bump happens under the catalog lock; the hooks fire after
+        it is released, so a hook that takes its own lock (the result
+        cache's does) never nests inside ``_temp_lock`` — one global
+        acquisition order, per the CL210 contract.
+        """
+        with self._temp_lock:
+            version = self._versions.get(name, 0) + 1
+            self._versions[name] = version
+        for hook in list(self._invalidation_hooks):
+            hook(name, version)
+        return version
+
+    def add_invalidation_hook(
+        self, hook: Callable[[str, int], None]
+    ) -> None:
+        """Register ``hook(table_name, new_version)``, fired after every
+        version bump (the result cache's invalidation wiring)."""
+        self._invalidation_hooks.append(hook)
+
+    def replace_table(self, table: Table) -> Table:
+        """Swap a base table's contents in place, bumping its version.
+
+        This is the catalog's mutation API: loads, appends, and updates
+        modeled by the tests all route through here so dependent cache
+        entries are dropped atomically with the swap.
+        """
+        with self._temp_lock:
+            if table.name not in self._tables:
+                raise CatalogError(f"no table named {table.name!r}")
+            if table.name in self._temp_names:
+                raise CatalogError(
+                    f"{table.name!r} is a temporary table; replace_table "
+                    "applies to base tables"
+                )
+            self._tables[table.name] = table
+        self.bump_version(table.name)
+        return table
 
     # -- temporary tables -----------------------------------------------------
 
@@ -156,6 +212,9 @@ class Catalog:
             # Re-encode the physically reordered table now: dictionary
             # encoding is load-time work, not query-time work.
             table.build_dictionaries()
+            # The stored table object changed; cached results computed
+            # against the old object must not be served.
+            self.bump_version(table_name)
         index = Index(spec, table)
         existing.append(index)
         return index

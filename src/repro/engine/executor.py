@@ -57,6 +57,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.cache import ResultCache, aggregate_signature
 from repro.core.plan import LogicalPlan, PlanNode
 from repro.core.scheduling import Step
 from repro.engine.aggregation import AggregateSpec, group_by, reaggregate_specs
@@ -171,6 +172,14 @@ class PlanExecutor:
             session's calibrated :class:`~repro.costmodel.layers.
             LayeredCostModel`); None builds fresh uncalibrated models
             from ``estimator`` as before — bit-identical behavior.
+        result_cache: semantic result cache
+            (:class:`~repro.cache.ResultCache`).  When given, the
+            lowering substitutes ``CacheRead`` operators for groupings
+            the cache can serve, the interpreter serves them (falling
+            back to cold computation if an entry was evicted), and
+            every finished grouping result is offered back to the
+            cache.  None (the default) runs cache-unaware —
+            bit-identical to the pre-cache behavior.
     """
 
     def __init__(
@@ -187,6 +196,7 @@ class PlanExecutor:
         metrics: MetricsRegistry | None = None,
         mode: str = "auto",
         model: "EngineCostModel | None" = None,
+        result_cache: ResultCache | None = None,
     ) -> None:
         if parallelism < 1:
             raise ExecutionError("parallelism must be >= 1")
@@ -208,6 +218,8 @@ class PlanExecutor:
         self._metrics = metrics if metrics is not None else get_metrics()
         self._mode = mode
         self._model = model
+        self._result_cache = result_cache
+        self._agg_sig = aggregate_signature(self._aggregates)
 
     # -- lowering -----------------------------------------------------------------
 
@@ -281,6 +293,7 @@ class PlanExecutor:
                 mode=mode,
                 parallelism=self._parallelism,
                 model=self._model,
+                result_cache=self._result_cache,
             )
         except PhysicalPlanError as exc:
             # An inconsistent schedule is the caller's error, reported
@@ -837,6 +850,19 @@ class PlanExecutor:
                 env[op.op_id] = index
                 op_span.set(sorted_prefix=op.sorted_prefix)
                 return None
+            if isinstance(op, phys.CacheRead):
+                table, served = self._run_cache_read(
+                    op, metrics, dictionaries
+                )
+                env[op.op_id] = table
+                if op.query is not None:
+                    result.results[frozenset(op.query)] = table
+                op_span.set(
+                    rows_out=table.num_rows,
+                    served=served,
+                    derived=op.derived,
+                )
+                return table.num_rows
             morsel_batched = (
                 precomputed is not None
                 and op.op_id in precomputed
@@ -848,7 +874,7 @@ class PlanExecutor:
                     physical, op, precomputed[op.op_id], metrics
                 )
             elif isinstance(op, phys.Reaggregate):
-                table = self._run_reaggregate(physical, op, metrics,
+                table = self._run_reaggregate(physical, op, env, metrics,
                                               dictionaries)
             elif isinstance(op, phys.GroupingOperator):
                 table = self._run_grouping(op, env, metrics, dictionaries)
@@ -884,6 +910,8 @@ class PlanExecutor:
             env[op.op_id] = table
             if op.query is not None:
                 result.results[frozenset(op.query)] = table
+            if self._result_cache is not None:
+                self._populate_cache(op, table)
             op_span.set(rows_out=table.num_rows, regime=regime)
             self._metrics.inc(
                 "repro_executor_groupings_total",
@@ -993,24 +1021,39 @@ class PlanExecutor:
         self,
         physical: "PhysicalPlan",
         op,
+        env: dict[int, Table | Index],
         metrics: ExecutionMetrics,
         dictionaries: DictionaryCache,
     ) -> Table:
-        """Group a materialized intermediate, resolved via the catalog."""
+        """Group a materialized intermediate, resolved via the catalog.
+
+        When the producer is a CacheRead the intermediate never touched
+        the catalog — it lives only in the pipeline environment.
+        """
+        from repro.physical.plan import CacheRead as CacheReadOp
         from repro.physical.plan import Materialize as MaterializeOp
 
         metrics.queries_executed += 1
         producer = physical.op(op.source)
-        if not isinstance(producer, MaterializeOp):
+        if isinstance(producer, CacheReadOp):
+            cached = env.get(op.source)
+            if not isinstance(cached, Table):
+                raise ExecutionError(
+                    f"reaggregate {op.op_id} reads cache entry "
+                    f"{op.source} before it was served"
+                )
+            source = cached
+        elif isinstance(producer, MaterializeOp):
+            if producer.output not in self._catalog:
+                raise ExecutionError(
+                    f"intermediate {producer.output!r} was not "
+                    "materialized before its consumers"
+                )
+            source = self._catalog.get(producer.output)
+        else:
             raise ExecutionError(
                 f"reaggregate {op.op_id} does not read a Materialize"
             )
-        if producer.output not in self._catalog:
-            raise ExecutionError(
-                f"intermediate {producer.output!r} was not materialized "
-                "before its consumers"
-            )
-        source = self._catalog.get(producer.output)
         if op.partitions > 1:
             return self._group_partitioned(
                 source, op, self._reaggregates, metrics, dictionaries,
@@ -1024,6 +1067,56 @@ class PlanExecutor:
             metrics=metrics,
             dictionaries=dictionaries,
             strategy=op.strategy,
+        )
+
+    def _run_cache_read(
+        self,
+        op,
+        metrics: ExecutionMetrics,
+        dictionaries: DictionaryCache,
+    ) -> tuple[Table, bool]:
+        """Serve a cached grouping result, recomputing if it was evicted.
+
+        Returns ``(table, served)`` where ``served`` is False on the
+        fallback path (the entry vanished between lowering and
+        execution, so the grouping runs cold against the base table).
+        An exact hit counts as an executed query; a derived hit does
+        not — its downstream Reaggregate does the counting, mirroring
+        the parent-reuse path.
+        """
+        cache = self._result_cache
+        if cache is not None:
+            table = cache.serve(op.fingerprint, derived=op.derived)
+            if table is not None:
+                if not op.derived:
+                    metrics.queries_executed += 1
+                if table.name != op.output:
+                    table = table.rename(op.output)
+                return table, True
+        source = self._catalog.get(op.table)
+        metrics.queries_executed += 1
+        table = group_by(
+            source,
+            list(op.keys),
+            self._aggregates,
+            name=op.output,
+            metrics=metrics,
+            dictionaries=dictionaries,
+        )
+        return table, False
+
+    def _populate_cache(self, op, table: Table) -> None:
+        """Admit a finished grouping result into the result cache."""
+        assert self._result_cache is not None
+        base = self._catalog.get(self._base_table)
+        self._result_cache.put(
+            self._base_table,
+            self._catalog.version(self._base_table),
+            op.keys,
+            table,
+            est_cost=op.est_cost,
+            input_rows=base.num_rows,
+            agg_sig=self._agg_sig,
         )
 
     def _group_partitioned(

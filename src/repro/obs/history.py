@@ -33,7 +33,7 @@ import json
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, TextIO
 
 from repro.core.plan import LogicalPlan, SubPlan
 
@@ -185,11 +185,17 @@ class PlanHistoryStore:
             None keeps records in memory only — the session-scoped
             default for the :class:`~repro.api.Session` feedback loop,
             gone when the process exits.
+
+    File-backed stores keep one lazily-opened append handle for their
+    lifetime (every record is flushed as it is written, so concurrent
+    readers always see complete lines); :meth:`close` releases it —
+    :meth:`repro.api.Session.close` calls it on session teardown.
     """
 
     def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path is not None else None
         self._records: list[dict[str, object]] = []
+        self._handle: TextIO | None = None
         self._seq = self._last_seq() + 1
 
     @property
@@ -251,10 +257,23 @@ class PlanHistoryStore:
         if self.path is None:
             self._records.append(record)
         else:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
         self._seq += 1
+
+    def flush(self) -> None:
+        """Flush any buffered appended records to disk (no-op in memory)."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Release the append handle; further appends reopen it."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
     # -- reading -----------------------------------------------------------------
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.cache import ResultCache, aggregate_signature
 from repro.core.plan import LogicalPlan, NodeKind, PlanNode
 from repro.core.scheduling import (
     Step,
@@ -51,6 +52,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.morsel import morsel_count
 from repro.physical.plan import (
     EXECUTION_MODES,
+    CacheRead,
     CubeExpand,
     DropTemp,
     GroupingOperator,
@@ -94,6 +96,7 @@ class _Lowering:
         mode: str = "serial",
         parallelism: int = 1,
         model: EngineCostModel | None = None,
+        result_cache: ResultCache | None = None,
     ) -> None:
         self.plan = plan
         self.catalog = catalog
@@ -104,6 +107,8 @@ class _Lowering:
         self.budget = memory_budget_bytes
         self.mode = mode
         self.parallelism = parallelism
+        self.result_cache = result_cache
+        self.agg_sig = aggregate_signature(aggregates)
         if model is not None:
             self.model: EngineCostModel | None = model
         else:
@@ -196,7 +201,14 @@ class _Lowering:
         depth = 0
         pipeline_ops: list[int] = []
 
-        if step.parent is None:
+        if step.parent is not None:
+            depth = self.depths.get(step.parent, 0) + 1
+
+        cached_id = self._lower_cache_hit(step, keys, temp, pipeline_ops)
+        if cached_id is not None:
+            source_desc = "cache"
+            group_id = cached_id
+        elif step.parent is None:
             source_desc = "R"
             input_rows = self.base_rows()
             group_id = self._lower_base_grouping(
@@ -204,7 +216,6 @@ class _Lowering:
             )
         else:
             source_desc = step.parent.describe()
-            depth = self.depths.get(step.parent, 0) + 1
             mat_id = self.materialized.get(step.parent)
             if mat_id is None:
                 raise PhysicalPlanError(
@@ -264,6 +275,111 @@ class _Lowering:
             materialized=step.materialize,
             depth=depth,
         )
+
+    def _lower_cache_hit(
+        self,
+        step: Step,
+        keys: tuple[str, ...],
+        temp: str,
+        pipeline_ops: list[int],
+    ) -> int | None:
+        """Substitute a cache serve for this grouping, if one wins.
+
+        Exact hits lower to a lone zero-cost :class:`CacheRead`;
+        derivable hits (a strictly finer cached grouping) lower to
+        ``CacheRead -> Reaggregate`` — but only when the cost model
+        says reaggregating the cached rows beats recomputing from the
+        node's ordinary input.  CUBE / ROLLUP nodes are never
+        substituted (their expand operators need the live top
+        grouping's pipeline shape).  Returns the id of the operator
+        producing the grouping, or None on a miss.
+        """
+        cache = self.result_cache
+        if cache is None or step.node.kind is not NodeKind.GROUP_BY:
+            return None
+        probe = cache.probe(self.base_table, keys, self.agg_sig)
+        if probe is None or probe.entry.version != self.catalog.version(
+            self.base_table
+        ):
+            # A stale entry only survives here when no invalidation
+            # hook is registered; it is never served.
+            cache.note_miss()
+            return None
+        entry = probe.entry
+        if probe.exact:
+            read_id = self.add_op(
+                CacheRead(
+                    op_id=self.next_id(),
+                    table=self.base_table,
+                    keys=tuple(sorted(entry.keys)),
+                    fingerprint=entry.fingerprint,
+                    version=entry.version,
+                    output=temp,
+                    derived=False,
+                    query=self._query_for(step),
+                    est_rows=float(entry.rows),
+                    est_cost=0.0,
+                )
+            )
+            pipeline_ops.append(read_id)
+            return read_id
+        entry_rows = float(entry.rows)
+        strategy, cost, mem, partitions = self.choose_grouping(
+            keys, entry_rows, operator="reaggregate"
+        )
+        if not self._cache_wins(keys, entry_rows, cost):
+            cache.note_miss()
+            return None
+        read_id = self.add_op(
+            CacheRead(
+                op_id=self.next_id(),
+                table=self.base_table,
+                keys=tuple(sorted(entry.keys)),
+                fingerprint=entry.fingerprint,
+                version=entry.version,
+                output="tmp__" + "__".join(sorted(entry.keys)),
+                derived=True,
+                est_rows=entry_rows,
+                est_cost=0.0,
+            )
+        )
+        pipeline_ops.append(read_id)
+        group_id = self.add_op(
+            Reaggregate(
+                op_id=self.next_id(),
+                source=read_id,
+                keys=keys,
+                output=temp,
+                query=self._query_for(step),
+                strategy=strategy,
+                partitions=partitions,
+                est_rows=self.est_rows(step.node.columns),
+                est_cost=cost,
+                est_mem_bytes=mem,
+            )
+        )
+        pipeline_ops.append(group_id)
+        return group_id
+
+    def _cache_wins(
+        self, keys: tuple[str, ...], entry_rows: float, reagg_cost: float
+    ) -> bool:
+        """Does reaggregating ``entry_rows`` cached rows beat a cold run?
+
+        Cold cost is the base-table scan plus the grouping the node
+        would otherwise lower to.  Without a cost model the heuristic
+        is row-count dominance: the cached intermediate must be smaller
+        than the base relation.
+        """
+        input_rows = self.base_rows()
+        if self.model is None:
+            return entry_rows < input_rows
+        base = self.catalog.get(self.base_table)
+        cold_scan = self.model.scan_op_cost(
+            input_rows, float(base.row_width())
+        )
+        _, cold_cost, _, _ = self.choose_grouping(keys, input_rows)
+        return reagg_cost < cold_scan + cold_cost
 
     def _lower_base_grouping(
         self,
@@ -479,6 +595,7 @@ def lower(
     mode: str | None = None,
     parallelism: int = 1,
     model: EngineCostModel | None = None,
+    result_cache: ResultCache | None = None,
 ) -> PhysicalPlan:
     """Lower a logical plan to a :class:`PhysicalPlan`.
 
@@ -510,6 +627,9 @@ def lower(
             :class:`~repro.costmodel.layers.LayeredCostModel`); None
             builds a fresh uncalibrated :class:`EngineCostModel` from
             ``estimator`` — today's behavior, bit-identical.
+        result_cache: semantic result cache to probe for exact and
+            derivable hits; None (the default) lowers cache-unaware —
+            bit-identical to the pre-cache behavior.
     """
     if mode is None:
         mode = "wavefront" if parallel else "serial"
@@ -529,6 +649,7 @@ def lower(
         mode=mode,
         parallelism=parallelism,
         model=model,
+        result_cache=result_cache,
     )
     waves: tuple[PhysicalWave, ...] | None = None
     if mode != "serial":

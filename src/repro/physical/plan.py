@@ -258,6 +258,50 @@ class RollupExpand(PhysicalOperator):
 
 
 @dataclass(frozen=True, kw_only=True)
+class CacheRead(PhysicalOperator):
+    """Serve a grouping result from the semantic result cache.
+
+    Substituted by the cache-aware lowering when the
+    :class:`~repro.cache.ResultCache` holds an entry that can answer a
+    grouping — exactly (the entry's keys equal the grouping; the read
+    stands alone) or by derivation (the entry's keys are a strict
+    superset; a :class:`Reaggregate` consumes the read).  The PV025
+    rule enforces both the superset condition and version freshness:
+    ``version`` pins the source table state the entry was computed
+    against, and a mismatch with the live catalog is a hard error.
+
+    Args:
+        table: source base relation the cached result was computed from.
+        keys: grouping key set of the cached entry, sorted.
+        fingerprint: the entry's grouping fingerprint (serve handle).
+        version: catalog version of ``table`` at population time.
+        output: name the served table is exposed under.
+        derived: True when a downstream Reaggregate consumes this read
+            (hit accounting: derived_hits vs hits).
+        query: the required query this read answers directly, as a
+            sorted column tuple — None when it feeds a Reaggregate.
+    """
+
+    table: str
+    keys: tuple[str, ...]
+    fingerprint: str
+    version: int
+    output: str
+    derived: bool = False
+    query: tuple[str, ...] | None = None
+
+    op_name: ClassVar[str] = "cache_read"
+
+    def describe(self) -> str:
+        kind = "derivable" if self.derived else "exact"
+        suffix = " [answers query]" if self.query is not None else ""
+        return (
+            f"CacheRead ({','.join(self.keys)}) -> {self.output} "
+            f"[{kind} v{self.version}]" + suffix
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
 class Materialize(PhysicalOperator):
     """Spool a pipeline's grouping result into the catalog as a temp."""
 
@@ -296,6 +340,7 @@ OP_TYPES: dict[str, type[PhysicalOperator]] = {
         Reaggregate,
         CubeExpand,
         RollupExpand,
+        CacheRead,
         Materialize,
         DropTemp,
     )

@@ -66,7 +66,7 @@ def fired(diagnostics):
 class TestRegistry:
     def test_rule_ids_start_at_pv012(self):
         assert set(PHYSICAL_RULES) == {
-            f"PV{number:03d}" for number in range(12, 25)
+            f"PV{number:03d}" for number in range(12, 26)
         }
 
     def test_unknown_rule_id_rejected(self):

@@ -1,0 +1,308 @@
+"""Unit tests for the semantic result cache (repro.cache)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CacheConfig,
+    DerivabilityIndex,
+    ResultCache,
+    aggregate_signature,
+    grouping_fingerprint,
+)
+from repro.engine.aggregation import AggregateSpec
+from repro.engine.table import Table
+
+
+def make_result(name: str, rows: int = 10) -> Table:
+    rng = np.random.default_rng(hash(name) % (2**32))
+    return Table(
+        name,
+        {
+            "k": np.arange(rows, dtype=np.int64),
+            "cnt": rng.integers(1, 100, rows),
+        },
+    )
+
+
+def entry_for(cache: ResultCache, keys, relation="r", **kwargs) -> bool:
+    return cache.put(
+        relation,
+        0,
+        keys,
+        make_result("tmp__" + "__".join(sorted(keys))),
+        **kwargs,
+    )
+
+
+class TestFingerprint:
+    def test_key_order_canonicalized(self):
+        assert grouping_fingerprint("r", ["a", "b"]) == grouping_fingerprint(
+            "r", ["b", "a"]
+        )
+
+    def test_distinct_relations_differ(self):
+        assert grouping_fingerprint("r", ["a"]) != grouping_fingerprint(
+            "s", ["a"]
+        )
+
+    def test_distinct_keys_differ(self):
+        assert grouping_fingerprint("r", ["a"]) != grouping_fingerprint(
+            "r", ["a", "b"]
+        )
+
+    def test_aggregate_signature_changes_identity(self):
+        sig = aggregate_signature([AggregateSpec.count_star("cnt")])
+        assert grouping_fingerprint("r", ["a"], sig) != grouping_fingerprint(
+            "r", ["a"]
+        )
+
+    def test_aggregate_signature_preserves_order(self):
+        specs = [
+            AggregateSpec("sum", "x", "sum_x"),
+            AggregateSpec.count_star("cnt"),
+        ]
+        assert aggregate_signature(specs) != aggregate_signature(specs[::-1])
+
+    def test_empty_aggregates_sign_empty(self):
+        assert aggregate_signature(None) == ()
+        assert aggregate_signature([]) == ()
+
+
+class TestCacheConfig:
+    def test_defaults_valid(self):
+        config = CacheConfig()
+        assert config.max_bytes > 0
+        assert config.policy == "cost"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_bytes": 0},
+            {"max_bytes": -1},
+            {"policy": "fifo"},
+            {"min_rows": -5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+
+class TestDerivabilityIndex:
+    def test_exact_and_derivable_lookup(self):
+        cache = ResultCache()
+        entry_for(cache, ["a", "b"])
+        probe = cache.probe("r", ["a", "b"])
+        assert probe is not None and probe.exact
+        probe = cache.probe("r", ["a"])
+        assert probe is not None and not probe.exact
+        assert probe.entry.keys == frozenset({"a", "b"})
+
+    def test_no_hit_for_finer_request(self):
+        cache = ResultCache()
+        entry_for(cache, ["a"])
+        # (a,b) is finer than (a): not derivable from it.
+        assert cache.probe("r", ["a", "b"]) is None
+
+    def test_cheapest_source_preferred(self):
+        index = DerivabilityIndex()
+        cache = ResultCache()
+        cache.put("r", 0, ["a", "b"], make_result("big", rows=50))
+        cache.put("r", 0, ["a", "c"], make_result("small", rows=5))
+        probe = cache.probe("r", ["a"])
+        assert probe is not None
+        assert probe.entry.rows == 5
+        del index
+
+    def test_aggregate_signature_must_match(self):
+        cache = ResultCache()
+        sig = aggregate_signature([AggregateSpec("sum", "x", "s")])
+        cache.put("r", 0, ["a", "b"], make_result("t"), agg_sig=sig)
+        assert cache.probe("r", ["a"]) is None
+        assert cache.probe("r", ["a"], sig) is not None
+
+    def test_relations_not_conflated(self):
+        cache = ResultCache()
+        entry_for(cache, ["a"], relation="r")
+        assert cache.probe("s", ["a"]) is None
+
+
+class TestServeAndCounters:
+    def test_serve_counts_hits(self):
+        cache = ResultCache()
+        entry_for(cache, ["a"])
+        probe = cache.probe("r", ["a"])
+        assert probe is not None
+        table = cache.serve(probe.entry.fingerprint)
+        assert table is not None
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["derived_hits"] == 0
+
+    def test_serve_derived_counts_separately(self):
+        cache = ResultCache()
+        entry_for(cache, ["a", "b"])
+        probe = cache.probe("r", ["a"])
+        assert probe is not None and not probe.exact
+        cache.serve(probe.entry.fingerprint, derived=True)
+        stats = cache.stats()
+        assert stats["derived_hits"] == 1 and stats["hits"] == 0
+
+    def test_serve_unknown_fingerprint_is_miss(self):
+        cache = ResultCache()
+        assert cache.serve("not-a-fingerprint") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_note_miss(self):
+        cache = ResultCache()
+        cache.note_miss()
+        assert cache.stats()["misses"] == 1
+
+
+class TestAdmissionAndEviction:
+    def test_min_rows_admission_gate(self):
+        cache = ResultCache(CacheConfig(min_rows=1_000))
+        assert not entry_for(cache, ["a"], input_rows=10)
+        assert cache.stats()["rejected"] == 1
+        assert entry_for(cache, ["b"], input_rows=10_000)
+        assert len(cache) == 1
+
+    def test_oversized_table_rejected(self):
+        table = make_result("t", rows=1000)
+        cache = ResultCache(CacheConfig(max_bytes=table.size_bytes() - 1))
+        assert not cache.put("r", 0, ["k"], table)
+        assert cache.stats()["rejected"] == 1
+
+    def test_byte_budget_evicts(self):
+        table = make_result("t", rows=100)
+        budget = table.size_bytes() * 2 + 1
+        cache = ResultCache(CacheConfig(max_bytes=budget, policy="lru"))
+        cache.put("r", 0, ["a"], make_result("ta", rows=100))
+        cache.put("r", 0, ["b"], make_result("tb", rows=100))
+        cache.put("r", 0, ["c"], make_result("tc", rows=100))
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["bytes"] <= budget
+        # LRU: ["a"] was least recently used.
+        assert cache.probe("r", ["a"]) is None
+        assert cache.probe("r", ["c"]) is not None
+
+    def test_lru_refreshed_by_serve(self):
+        table = make_result("t", rows=100)
+        budget = table.size_bytes() * 2 + 1
+        cache = ResultCache(CacheConfig(max_bytes=budget, policy="lru"))
+        cache.put("r", 0, ["a"], make_result("ta", rows=100))
+        cache.put("r", 0, ["b"], make_result("tb", rows=100))
+        probe = cache.probe("r", ["a"])
+        assert probe is not None
+        cache.serve(probe.entry.fingerprint)  # refresh ["a"]
+        cache.put("r", 0, ["c"], make_result("tc", rows=100))
+        assert cache.probe("r", ["a"]) is not None
+        assert cache.probe("r", ["b"]) is None
+
+    def test_cost_policy_protects_expensive_entries(self):
+        table = make_result("t", rows=100)
+        budget = table.size_bytes() * 2 + 1
+        cache = ResultCache(CacheConfig(max_bytes=budget, policy="cost"))
+        cache.put("r", 0, ["a"], make_result("ta", rows=100), est_cost=1e9)
+        cache.put("r", 0, ["b"], make_result("tb", rows=100), est_cost=1.0)
+        cache.put("r", 0, ["c"], make_result("tc", rows=100), est_cost=1e9)
+        # The cheap-to-recompute entry goes first.
+        assert cache.probe("r", ["b"]) is None
+        assert cache.probe("r", ["a"]) is not None
+        assert cache.probe("r", ["c"]) is not None
+
+    def test_refresh_same_fingerprint_replaces(self):
+        cache = ResultCache()
+        entry_for(cache, ["a"])
+        cache.put("r", 3, ["a"], make_result("ta2", rows=20))
+        assert len(cache) == 1
+        probe = cache.probe("r", ["a"])
+        assert probe is not None
+        assert probe.entry.version == 3
+        assert probe.entry.rows == 20
+
+
+class TestInvalidation:
+    def test_invalidate_relation(self):
+        cache = ResultCache()
+        entry_for(cache, ["a"], relation="r")
+        entry_for(cache, ["a"], relation="s")
+        assert cache.invalidate("r") == 1
+        assert cache.probe("r", ["a"]) is None
+        assert cache.probe("s", ["a"]) is not None
+
+    def test_invalidate_all(self):
+        cache = ResultCache()
+        entry_for(cache, ["a"])
+        entry_for(cache, ["b"])
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.stats()["bytes"] == 0
+
+    def test_invalidate_unknown_relation_noop(self):
+        cache = ResultCache()
+        entry_for(cache, ["a"])
+        assert cache.invalidate("nope") == 0
+        assert len(cache) == 1
+
+
+class TestEntriesView:
+    def test_entries_most_recent_first(self):
+        cache = ResultCache()
+        entry_for(cache, ["a"])
+        entry_for(cache, ["b"])
+        names = [sorted(e.keys) for e in cache.entries()]
+        assert names == [["b"], ["a"]]
+
+    def test_as_dict_shape(self):
+        cache = ResultCache()
+        entry_for(cache, ["a"])
+        payload = cache.entries()[0].as_dict()
+        assert payload["keys"] == ["a"]
+        assert set(payload) >= {"fingerprint", "rows", "bytes", "version"}
+
+    def test_put_builds_key_dictionaries(self):
+        cache = ResultCache()
+        table = make_result("t")
+        cache.put("r", 0, ["k"], table)
+        assert table.cached_dictionary("k") is not None
+
+
+class TestThreadSafety:
+    def test_concurrent_put_serve_invalidate(self):
+        cache = ResultCache(CacheConfig(max_bytes=1 << 20))
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                rng = np.random.default_rng(seed)
+                for i in range(50):
+                    keys = ["a", "b", "c"][: 1 + (i + seed) % 3]
+                    op = rng.integers(0, 3)
+                    if op == 0:
+                        cache.put(
+                            "r", 0, keys, make_result(f"t{seed}_{i}")
+                        )
+                    elif op == 1:
+                        probe = cache.probe("r", keys)
+                        if probe is not None:
+                            cache.serve(probe.entry.fingerprint)
+                    else:
+                        cache.invalidate("r")
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["bytes"] >= 0
+        assert len(cache) == stats["entries"]

@@ -141,3 +141,100 @@ class TestTableDictionaryIntegration:
             table.set_dictionary(
                 "missing", np.zeros(1, dtype=np.int64), np.array([1])
             )
+
+
+class TestEviction:
+    def test_evict_drops_dictionaries_and_counts(self):
+        table = Table("t", {"a": [3, 1, 3], "b": ["x", "y", "x"]})
+        cache = DictionaryCache()
+        cache.codes(table, "a")
+        cache.codes(table, "b")
+        assert cache.evict(table) == 2
+        assert table.cached_dictionary("a") is None
+        assert cache.stats()["evictions"] == 2
+        # Next lookup rebuilds from scratch: a miss, not a stale hit.
+        cache.codes(table, "a")
+        assert cache.stats()["misses"] == 3
+
+    def test_evict_table_without_dictionaries_is_noop(self):
+        table = Table("t", {"a": [1, 2]})
+        cache = DictionaryCache()
+        assert cache.evict(table) == 0
+        assert cache.stats()["evictions"] == 0
+
+    def test_drop_dictionaries_counts(self):
+        table = Table("t", {"a": [1, 2, 1], "b": ["x", "y", "y"]})
+        table.build_dictionaries()
+        assert table.drop_dictionaries() == 2
+        assert table.drop_dictionaries() == 0
+
+    def test_concurrent_codes_during_evict(self):
+        rng = np.random.default_rng(3)
+        table = Table("big", {"k": rng.integers(0, 200, 10_000)})
+        cache = DictionaryCache()
+        ref_codes, ref_uniques = legacy_encode(table["k"])
+        errors = []
+        results = []
+
+        def reader():
+            try:
+                for _ in range(20):
+                    results.append(cache.codes(table, "k"))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def evictor():
+            try:
+                for _ in range(20):
+                    cache.evict(table)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(6)] + [
+            threading.Thread(target=evictor) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Every served encoding is correct, evicted or not.
+        for codes, uniques in results:
+            np.testing.assert_array_equal(codes, ref_codes)
+            np.testing.assert_array_equal(uniques, ref_uniques)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 6 * 20
+
+    def test_concurrent_executor_runs_with_eviction(self):
+        from repro.api import Session
+        from repro.workloads.sales import make_sales
+
+        table = make_sales(5_000)
+        session = Session.for_table(table, statistics="exact")
+        queries = [frozenset({"state"}), frozenset({"region", "state"})]
+        plan = session.optimize(queries).plan
+        expected = session.execute(plan)
+        errors = []
+
+        def runner(seed: int):
+            try:
+                for _ in range(3):
+                    outcome = session.execute(plan)
+                    for query in queries:
+                        got = outcome.results[query].to_rows()
+                        want = expected.results[query].to_rows()
+                        assert got == want
+                    if seed % 2:
+                        table.drop_dictionaries()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=runner, args=(seed,))
+            for seed in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

@@ -107,6 +107,7 @@ class TestOperators:
             "reaggregate",
             "cube_expand",
             "rollup_expand",
+            "cache_read",
             "materialize",
             "drop_temp",
         }

@@ -248,3 +248,66 @@ class TestFeedbackLoop:
         assert state["history_runs"] == 1
         model_state = state["model"]
         assert set(model_state) == {"base", "layers", "merged", "refreshes"}
+
+
+class TestLifecycle:
+    def test_context_manager_closes_resources(self, random_table, tmp_path):
+        from repro.api import FeedbackConfig
+
+        history_path = tmp_path / "history.jsonl"
+        with Session.for_table(
+            random_table,
+            statistics="exact",
+            feedback=FeedbackConfig(history=history_path),
+            cache=True,
+        ) as session:
+            queries = single_column_queries(random_table.column_names[:2])
+            session.execute(session.optimize(queries).plan)
+            assert session.history is not None
+            assert session.history._handle is not None
+            assert session.cache_stats()["entries"] > 0
+        assert session.history._handle is None
+        assert history_path.exists()
+        assert session.cache_stats()["entries"] == 0
+
+    def test_close_drops_plan_cache_and_dictionaries(self, random_table):
+        session = Session.for_table(random_table, statistics="exact")
+        session.enable_plan_cache = True
+        random_table.build_dictionaries()
+        queries = single_column_queries(random_table.column_names[:2])
+        session.optimize(queries)
+        assert session._plan_cache
+        column = random_table.column_names[0]
+        assert random_table.cached_dictionary(column) is not None
+        session.close()
+        assert not session._plan_cache
+        assert random_table.cached_dictionary(column) is None
+
+    def test_history_reopens_after_close(self, random_table, tmp_path):
+        from repro.api import FeedbackConfig
+
+        history_path = tmp_path / "history.jsonl"
+        session = Session.for_table(
+            random_table,
+            statistics="exact",
+            feedback=FeedbackConfig(history=history_path),
+        )
+        queries = single_column_queries(random_table.column_names[:1])
+        plan = session.optimize(queries).plan
+        session.execute(plan)
+        session.close()
+        # The session stays usable: appends lazily reopen the handle.
+        session.execute(plan)
+        assert session.history._handle is not None
+        assert len(history_path.read_text().splitlines()) == 2
+        session.close()
+
+    def test_session_usable_after_close(self, random_table):
+        session = Session.for_table(
+            random_table, statistics="exact", cache=True
+        )
+        queries = single_column_queries(random_table.column_names[:1])
+        session.close()
+        outcome = session.execute(session.optimize(queries).plan)
+        assert outcome.results
+        assert session.cache_stats()["entries"] == 1

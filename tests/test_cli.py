@@ -637,3 +637,173 @@ class TestAdaptive:
             main(["adaptive", "--workload", "sales", "--runs", "0"]) == 2
         )
         assert "error:" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_text_output_reports_warm_hits(self, capsys):
+        code = main(
+            ["cache", "--workload", "sales", "--rows", "2000", "--runs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wall ms" in out
+        assert "cache:" in out
+        assert "hits" in out
+        assert "resident entries" in out
+
+    def test_json_output_shape(self, capsys):
+        import json
+
+        code = main(
+            [
+                "cache",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--runs", "2",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["runs"]) == 2
+        assert payload["stats"]["enabled"] is True
+        assert payload["stats"]["hits"] > 0
+        assert payload["entries"]
+        # The warm run re-reads nothing from the base table.
+        assert (
+            payload["runs"][1]["rows_scanned"]
+            < payload["runs"][0]["rows_scanned"]
+        )
+
+    def test_config_knobs_respected(self, capsys):
+        import json
+
+        code = main(
+            [
+                "cache",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--min-rows", "1000000",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["entries"] == 0
+        assert payload["stats"]["rejected"] > 0
+
+    def test_bad_max_bytes_exits_2(self, capsys):
+        code = main(
+            ["cache", "--workload", "sales", "--max-bytes", "0"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_zero_runs_exits_2(self, capsys):
+        code = main(
+            ["cache", "--workload", "sales", "--runs", "0"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_source(self, capsys):
+        assert main(["cache"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_flag_on_trace(self, capsys):
+        code = main(
+            [
+                "trace",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--cache",
+            ]
+        )
+        assert code == 0
+        assert "execute" in capsys.readouterr().out
+
+    def test_cache_flag_on_explain_analyze(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--analyze",
+                "--cache",
+            ]
+        )
+        assert code == 0
+
+
+class TestFormatContract:
+    """Every --format-bearing obs command honors text|json and the
+    0/1/2 exit contract."""
+
+    def _history(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        assert (
+            main(
+                [
+                    "explain",
+                    "--workload", "sales",
+                    "--rows", "2000",
+                    "--analyze",
+                    "--history", str(history),
+                ]
+            )
+            == 0
+        )
+        return history
+
+    def _argv(self, command, tmp_path):
+        if command == "calibration":
+            return ["calibration", str(self._history(tmp_path))]
+        if command == "adaptive":
+            return [
+                "adaptive",
+                "--workload", "sales",
+                "--rows", "2000",
+                "--runs", "1",
+            ]
+        if command == "analyze-plan":
+            return ["analyze-plan", "--workload", "sales", "--rows", "800"]
+        assert command == "cache"
+        return ["cache", "--workload", "sales", "--rows", "2000"]
+
+    @pytest.mark.parametrize(
+        "command", ["calibration", "adaptive", "analyze-plan", "cache"]
+    )
+    def test_json_parses_and_text_does_not(self, command, tmp_path, capsys):
+        import json
+
+        argv = self._argv(command, tmp_path)
+        capsys.readouterr()
+        assert main(argv + ["--format", "json"]) == 0
+        json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        with pytest.raises(ValueError):
+            json.loads(text)
+
+    @pytest.mark.parametrize(
+        "command", ["calibration", "adaptive", "analyze-plan", "cache"]
+    )
+    def test_bad_format_value_exits_2(self, command, tmp_path, capsys):
+        argv = self._argv(command, tmp_path)
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv + ["--format", "yaml"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["calibration", "/nonexistent/history.jsonl"],
+            ["adaptive", "--runs", "1"],
+            ["analyze-plan"],
+            ["cache"],
+        ],
+    )
+    def test_bad_input_exits_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert "error:" in capsys.readouterr().err
